@@ -1,0 +1,152 @@
+// Package bench holds one testing.B benchmark per table and figure of the
+// paper's evaluation section (plus the ablation studies). Each benchmark
+// regenerates its experiment end to end at a reduced scale; the full-scale
+// reports (and the paper-vs-measured comparison) live in EXPERIMENTS.md and
+// are produced by cmd/terids-bench.
+package bench
+
+import (
+	"testing"
+
+	"terids/internal/experiments"
+)
+
+// benchParams shrinks the workload so `go test -bench=.` stays tractable
+// while still exercising every moving part.
+func benchParams(datasets ...string) experiments.Params {
+	p := experiments.DefaultParams()
+	p.Scale = 0.25
+	p.W = 60
+	p.MaxStream = 160
+	if len(datasets) == 0 {
+		datasets = []string{"Citations"}
+	}
+	p.Datasets = datasets
+	return p
+}
+
+func runExperiment(b *testing.B, id string, p experiments.Params) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, p); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkTable4DatasetStats regenerates Table 4 (dataset statistics).
+func BenchmarkTable4DatasetStats(b *testing.B) {
+	runExperiment(b, "table4", benchParams())
+}
+
+// BenchmarkTable5ParameterGrid regenerates Table 5 (parameter settings).
+func BenchmarkTable5ParameterGrid(b *testing.B) {
+	runExperiment(b, "table5", benchParams())
+}
+
+// BenchmarkFig4PruningPower regenerates Figure 4 (per-strategy pruning
+// power).
+func BenchmarkFig4PruningPower(b *testing.B) {
+	runExperiment(b, "fig4", benchParams())
+}
+
+// BenchmarkFig5aFScore regenerates Figure 5(a) (F-score per method).
+func BenchmarkFig5aFScore(b *testing.B) {
+	runExperiment(b, "fig5a", benchParams())
+}
+
+// BenchmarkFig5bWallClock regenerates Figure 5(b) (wall clock per method).
+func BenchmarkFig5bWallClock(b *testing.B) {
+	runExperiment(b, "fig5b", benchParams())
+}
+
+// BenchmarkFig6Breakdown regenerates Figure 6 (TER-iDS cost breakdown).
+func BenchmarkFig6Breakdown(b *testing.B) {
+	runExperiment(b, "fig6", benchParams())
+}
+
+// BenchmarkFig7Alpha regenerates Figure 7 (efficiency vs α).
+func BenchmarkFig7Alpha(b *testing.B) {
+	runExperiment(b, "fig7", benchParams())
+}
+
+// BenchmarkFig8Rho regenerates Figure 8 (efficiency vs ρ = γ/d).
+func BenchmarkFig8Rho(b *testing.B) {
+	runExperiment(b, "fig8", benchParams())
+}
+
+// BenchmarkFig9MissingRate regenerates Figure 9 (efficiency vs ξ).
+func BenchmarkFig9MissingRate(b *testing.B) {
+	runExperiment(b, "fig9", benchParams())
+}
+
+// BenchmarkFig10Window regenerates Figure 10 (efficiency vs w).
+func BenchmarkFig10Window(b *testing.B) {
+	runExperiment(b, "fig10", benchParams())
+}
+
+// BenchmarkFig11aPivotEta regenerates Figure 11(a) (pivot selection cost vs
+// η).
+func BenchmarkFig11aPivotEta(b *testing.B) {
+	runExperiment(b, "fig11a", benchParams())
+}
+
+// BenchmarkFig11bPivotCntMax regenerates Figure 11(b) (pivot selection cost
+// vs cntMax).
+func BenchmarkFig11bPivotCntMax(b *testing.B) {
+	runExperiment(b, "fig11b", benchParams())
+}
+
+// BenchmarkFig12CDDDetect regenerates Figure 12 (offline CDD detection
+// cost).
+func BenchmarkFig12CDDDetect(b *testing.B) {
+	runExperiment(b, "fig12", benchParams())
+}
+
+// BenchmarkFig13FScoreXi regenerates Figure 13 (F-score vs ξ).
+func BenchmarkFig13FScoreXi(b *testing.B) {
+	p := benchParams()
+	p.MaxStream = 100
+	runExperiment(b, "fig13", p)
+}
+
+// BenchmarkFig14FScoreEta regenerates Figure 14 (F-score vs η).
+func BenchmarkFig14FScoreEta(b *testing.B) {
+	p := benchParams()
+	p.MaxStream = 100
+	runExperiment(b, "fig14", p)
+}
+
+// BenchmarkFig15FScoreM regenerates Figure 15 (F-score vs m).
+func BenchmarkFig15FScoreM(b *testing.B) {
+	p := benchParams()
+	p.MaxStream = 100
+	runExperiment(b, "fig15", p)
+}
+
+// BenchmarkFig16TimeEta regenerates Figure 16 (efficiency vs η).
+func BenchmarkFig16TimeEta(b *testing.B) {
+	p := benchParams()
+	p.MaxStream = 100
+	runExperiment(b, "fig16", p)
+}
+
+// BenchmarkFig17TimeM regenerates Figure 17 (efficiency vs m).
+func BenchmarkFig17TimeM(b *testing.B) {
+	p := benchParams()
+	p.MaxStream = 100
+	runExperiment(b, "fig17", p)
+}
+
+// BenchmarkAblationPruning measures TER-iDS with each pruning strategy
+// disabled (design-choice ablation; results identical, cost moves).
+func BenchmarkAblationPruning(b *testing.B) {
+	runExperiment(b, "ablation-pruning", benchParams())
+}
+
+// BenchmarkAblationPivot compares entropy-selected pivots against naive
+// first-value pivots (the Section 5.4 design choice).
+func BenchmarkAblationPivot(b *testing.B) {
+	runExperiment(b, "ablation-pivot", benchParams())
+}

@@ -1,0 +1,111 @@
+// Bibliography runs topic-aware deduplication over the Citations profile
+// (the paper's DBLP-ACM analog): two citation sources stream records with
+// occasionally missing venues/years, and we look for duplicate "database"
+// publications online. It also demonstrates the CSV round trip and a
+// side-by-side comparison of TER-iDS against the DD-rule baseline on the
+// same stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/metrics"
+	"terids/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	prof, err := dataset.ProfileByName("Citations")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := dataset.Generate(prof, dataset.Options{
+		Scale: 1, MissingRate: 0.3, MissingAttrs: 1, RepoRatio: 0.5, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist and re-load the stream through CSV (showing the disk
+	// format used by terids-datagen).
+	dir, err := os.MkdirTemp("", "terids-bib")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "stream.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tuple.WriteCSV(f, data.Schema, data.Stream); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, reloaded, err := tuple.ReadCSV(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round-tripped %d citation records through %s\n", len(reloaded), path)
+
+	keywords := []string{"database"}
+	sh, err := core.Prepare(data.Repo, core.DefaultPrepareConfig(keywords))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma := 0.5 * float64(data.Schema.D())
+	cfg := core.Config{
+		Keywords:   keywords,
+		Gamma:      gamma,
+		Alpha:      0.5,
+		WindowSize: 120,
+		Streams:    2,
+	}
+
+	run := func(res core.Resolver) map[metrics.PairKey]bool {
+		emitted := map[metrics.PairKey]bool{}
+		for _, r := range data.Stream {
+			pairs, err := res.Advance(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range pairs {
+				emitted[p.Key()] = true
+			}
+		}
+		return emitted
+	}
+
+	ter, err := core.NewProcessor(sh, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dd, err := core.NewBaseline(sh, cfg, core.DDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := data.TruthPairs(cfg.WindowSize, gamma)
+	terConf := metrics.Compare(run(ter), truth)
+	ddConf := metrics.Compare(run(dd), truth)
+
+	fmt.Printf("ground truth duplicate pairs about %v: %d\n", keywords, len(truth))
+	fmt.Printf("TER-iDS  F-score %.2f%% (P %.1f%% / R %.1f%%)\n",
+		terConf.F1()*100, terConf.Precision()*100, terConf.Recall()*100)
+	fmt.Printf("DD+ER    F-score %.2f%% (P %.1f%% / R %.1f%%)\n",
+		ddConf.F1()*100, ddConf.Precision()*100, ddConf.Recall()*100)
+	if terConf.F1() < ddConf.F1() {
+		fmt.Println("note: CDD imputation usually beats DD imputation; on tiny streams ties happen")
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest complete TER-iDS pipeline — build a repository,
+// prepare the offline state (pivots, rules, indexes), then stream a handful
+// of tuples with a missing attribute through the processor and print the
+// topic-related matches it maintains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"terids/internal/core"
+	"terids/internal/repository"
+	"terids/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 3-attribute schema over textual values.
+	schema := tuple.MustSchema("name", "features", "category")
+
+	// The static complete repository R: historical records the imputation
+	// rules are mined from.
+	mk := func(rid, name, features, category string) *tuple.Record {
+		return tuple.MustRecord(schema, rid, 0, 0, []string{name, features, category})
+	}
+	repo, err := repository.Build(schema, []*tuple.Record{
+		mk("s1", "trail runner pro", "grip sole light mesh", "running shoes"),
+		mk("s2", "trail runner", "grip sole light mesh vent", "running shoes"),
+		mk("s3", "trail runner max", "grip sole mesh vent", "running shoes"),
+		mk("s4", "city sneaker", "flat sole canvas", "casual shoes"),
+		mk("s5", "city sneaker lite", "flat sole canvas light", "casual shoes"),
+		mk("s6", "city sneaker", "flat sole canvas soft", "casual shoes"),
+		mk("s7", "peak boot", "ankle support leather", "hiking boots"),
+		mk("s8", "peak boot gtx", "ankle support leather waterproof", "hiking boots"),
+		mk("s9", "peak boot", "ankle leather waterproof", "hiking boots"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase: pivot selection, rule detection, index construction.
+	keywords := []string{"running"} // the query topic K
+	sh, err := core.Prepare(repo, core.DefaultPrepareConfig(keywords))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: %d rules detected from %d samples\n", sh.Rules.Len(), repo.Len())
+
+	// Online phase: two streams, window of 4, similarity > 2 of 3,
+	// probability > 0.4.
+	proc, err := core.NewProcessor(sh, core.Config{
+		Keywords:   keywords,
+		Gamma:      2.0,
+		Alpha:      0.4,
+		WindowSize: 4,
+		Streams:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream arrivals; r3's category is missing ("-") and is imputed from
+	// the repository via CDD rules before resolution.
+	arrivals := []*tuple.Record{
+		tuple.MustRecord(schema, "a1", 0, 0, []string{"trail runner pro", "grip sole light mesh", "running shoes"}),
+		tuple.MustRecord(schema, "b1", 1, 1, []string{"city sneaker", "flat sole canvas", "casual shoes"}),
+		tuple.MustRecord(schema, "b2", 1, 2, []string{"trail runner pro", "grip sole light mesh vent", "-"}),
+		tuple.MustRecord(schema, "a2", 0, 3, []string{"peak boot gtx", "ankle support leather waterproof", "hiking boots"}),
+	}
+	for _, r := range arrivals {
+		pairs, err := proc.Advance(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("arrival %-3s -> %d new match(es)\n", r.RID, len(pairs))
+		for _, p := range pairs {
+			fmt.Printf("  %s ~ %s with probability %.2f\n", p.A.RID, p.B.RID, p.Prob)
+		}
+	}
+
+	fmt.Printf("\nlive entity set (%d pairs):\n", proc.Results().Len())
+	for _, p := range proc.Results().Pairs() {
+		fmt.Printf("  %s ~ %s (Pr=%.2f)\n", p.A.RID, p.B.RID, p.Prob)
+	}
+}

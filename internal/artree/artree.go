@@ -1,0 +1,429 @@
+package artree
+
+import "fmt"
+
+// Item is a leaf entry: a rectangle (or point), a payload, and its
+// aggregate contribution.
+type Item struct {
+	Rect Rect
+	Data any
+	Agg  any
+}
+
+// Merger folds item aggregates into node aggregates. Aggregates must be
+// merge-monotone (adding an element never shrinks the summary), which is
+// true of all aggregates the paper uses: bitvector OR, interval union,
+// min/max bounds.
+type Merger interface {
+	// Zero returns a fresh empty aggregate.
+	Zero() any
+	// Add folds agg into acc and returns the result (acc may be mutated and
+	// returned).
+	Add(acc, agg any) any
+}
+
+// Tree is an aggregate R-tree. The zero value is not usable; call New.
+type Tree struct {
+	dims   int
+	max    int
+	min    int
+	merger Merger
+	root   *node
+	size   int
+}
+
+type node struct {
+	leaf     bool
+	rect     Rect
+	agg      any
+	items    []Item  // leaf only
+	children []*node // inner only
+}
+
+// Option tweaks tree construction.
+type Option func(*Tree)
+
+// WithFanout sets the maximum node fanout M (minimum is M*2/5, at least 2).
+func WithFanout(m int) Option {
+	return func(t *Tree) {
+		if m >= 4 {
+			t.max = m
+			t.min = m * 2 / 5
+			if t.min < 2 {
+				t.min = 2
+			}
+		}
+	}
+}
+
+// New creates a tree over dims-dimensional rectangles using merger for
+// aggregates.
+func New(dims int, merger Merger, opts ...Option) *Tree {
+	if dims < 1 {
+		panic(fmt.Sprintf("artree: dims %d < 1", dims))
+	}
+	if merger == nil {
+		panic("artree: nil merger")
+	}
+	t := &Tree{dims: dims, max: 16, min: 6, merger: merger}
+	for _, o := range opts {
+		o(t)
+	}
+	t.root = &node{leaf: true, agg: merger.Zero()}
+	return t
+}
+
+// Len returns the number of items stored.
+func (t *Tree) Len() int { return t.size }
+
+// Dims returns the tree dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+func (t *Tree) checkRect(r Rect) {
+	if r.Dims() != t.dims {
+		panic(fmt.Sprintf("artree: rect dims %d, tree dims %d", r.Dims(), t.dims))
+	}
+}
+
+// Insert adds an item.
+func (t *Tree) Insert(it Item) {
+	t.checkRect(it.Rect)
+	t.size++
+	split := t.insert(t.root, it)
+	if split != nil {
+		old := t.root
+		t.root = &node{
+			leaf:     false,
+			children: []*node{old, split},
+		}
+		t.root.refit(t.merger)
+	}
+}
+
+// insert descends to a leaf; returns a new sibling if n was split.
+func (t *Tree) insert(n *node, it Item) *node {
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.max {
+			return t.splitLeaf(n)
+		}
+		n.refit(t.merger)
+		return nil
+	}
+	best := chooseSubtree(n.children, it.Rect)
+	split := t.insert(n.children[best], it)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.max {
+			return t.splitInner(n)
+		}
+	}
+	n.refit(t.merger)
+	return nil
+}
+
+// chooseSubtree picks the child needing least volume enlargement (ties:
+// smaller volume).
+func chooseSubtree(children []*node, r Rect) int {
+	best, bestEnl, bestVol := 0, 0.0, 0.0
+	for i, c := range children {
+		enl := c.rect.enlargement(r)
+		vol := c.rect.volume()
+		if i == 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// refit recomputes the node MBR and aggregate from its members.
+func (n *node) refit(m Merger) {
+	agg := m.Zero()
+	if n.leaf {
+		for i, it := range n.items {
+			if i == 0 {
+				n.rect = it.Rect.enlarged(it.Rect)
+			} else {
+				n.rect = n.rect.enlarged(it.Rect)
+			}
+			agg = m.Add(agg, it.Agg)
+		}
+		if len(n.items) == 0 {
+			n.rect = Rect{Min: nil, Max: nil}
+		}
+	} else {
+		for i, c := range n.children {
+			if i == 0 {
+				n.rect = c.rect.enlarged(c.rect)
+			} else {
+				n.rect = n.rect.enlarged(c.rect)
+			}
+			agg = m.Add(agg, c.agg)
+		}
+	}
+	n.agg = agg
+}
+
+// splitLeaf splits an overflowing leaf with Guttman's quadratic split and
+// returns the new sibling.
+func (t *Tree) splitLeaf(n *node) *node {
+	rects := make([]Rect, len(n.items))
+	for i, it := range n.items {
+		rects[i] = it.Rect
+	}
+	groupA, groupB := quadraticSplit(rects, t.min)
+	itemsA := make([]Item, 0, len(groupA))
+	itemsB := make([]Item, 0, len(groupB))
+	for _, i := range groupA {
+		itemsA = append(itemsA, n.items[i])
+	}
+	for _, i := range groupB {
+		itemsB = append(itemsB, n.items[i])
+	}
+	n.items = itemsA
+	sib := &node{leaf: true, items: itemsB}
+	n.refit(t.merger)
+	sib.refit(t.merger)
+	return sib
+}
+
+// splitInner splits an overflowing inner node.
+func (t *Tree) splitInner(n *node) *node {
+	rects := make([]Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	groupA, groupB := quadraticSplit(rects, t.min)
+	childA := make([]*node, 0, len(groupA))
+	childB := make([]*node, 0, len(groupB))
+	for _, i := range groupA {
+		childA = append(childA, n.children[i])
+	}
+	for _, i := range groupB {
+		childB = append(childB, n.children[i])
+	}
+	n.children = childA
+	sib := &node{leaf: false, children: childB}
+	n.refit(t.merger)
+	sib.refit(t.merger)
+	return sib
+}
+
+// quadraticSplit partitions indexes [0,len(rects)) into two groups using
+// Guttman's quadratic heuristic, guaranteeing each group holds >= min.
+func quadraticSplit(rects []Rect, min int) (a, b []int) {
+	n := len(rects)
+	// Pick seeds: the pair wasting the most volume if grouped.
+	seedA, seedB, worst := 0, 1, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			waste := rects[i].enlarged(rects[j]).volume() - rects[i].volume() - rects[j].volume()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	a = []int{seedA}
+	b = []int{seedB}
+	rectA, rectB := rects[seedA], rects[seedB]
+	assigned := make([]bool, n)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := n - 2
+	for remaining > 0 {
+		// If one group must absorb the rest to reach min, do so.
+		if len(a)+remaining == min {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					a = append(a, i)
+					rectA = rectA.enlarged(rects[i])
+					assigned[i] = true
+				}
+			}
+			return a, b
+		}
+		if len(b)+remaining == min {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					b = append(b, i)
+					rectB = rectB.enlarged(rects[i])
+					assigned[i] = true
+				}
+			}
+			return a, b
+		}
+		// Pick the unassigned entry with the greatest preference.
+		pick, pickDiff := -1, -1.0
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			dA := rectA.enlargement(rects[i])
+			dB := rectB.enlargement(rects[i])
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > pickDiff {
+				pickDiff, pick = diff, i
+			}
+		}
+		dA := rectA.enlargement(rects[pick])
+		dB := rectB.enlargement(rects[pick])
+		toA := dA < dB || (dA == dB && rectA.volume() < rectB.volume()) ||
+			(dA == dB && rectA.volume() == rectB.volume() && len(a) <= len(b))
+		if toA {
+			a = append(a, pick)
+			rectA = rectA.enlarged(rects[pick])
+		} else {
+			b = append(b, pick)
+			rectB = rectB.enlarged(rects[pick])
+		}
+		assigned[pick] = true
+		remaining--
+	}
+	return a, b
+}
+
+// Search visits every item whose rectangle intersects query. Returning
+// false stops the scan.
+func (t *Tree) Search(query Rect, visit func(Item) bool) {
+	t.checkRect(query)
+	t.search(t.root, query, visit)
+}
+
+func (t *Tree) search(n *node, query Rect, visit func(Item) bool) bool {
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Rect.Intersects(query) {
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if len(c.rect.Min) == 0 || !c.rect.Intersects(query) {
+			continue
+		}
+		if !t.search(c, query, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Traverse walks the tree top-down under caller control. visitNode sees
+// each node's MBR and aggregate; returning false prunes the whole subtree
+// (this is how pruning via aggregates, Section 5.1, is expressed).
+// visitItem sees surviving leaf items; returning false aborts the
+// traversal.
+func (t *Tree) Traverse(visitNode func(rect Rect, agg any) bool, visitItem func(Item) bool) {
+	t.traverse(t.root, visitNode, visitItem)
+}
+
+func (t *Tree) traverse(n *node, visitNode func(Rect, any) bool, visitItem func(Item) bool) bool {
+	if t.size == 0 {
+		return true
+	}
+	if !visitNode(n.rect, n.agg) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if !visitItem(it) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.traverse(c, visitNode, visitItem) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes the first item intersecting rect for which match returns
+// true. It reports whether an item was removed. Underflowing nodes are
+// condensed by reinserting orphaned entries (Guttman's CondenseTree).
+func (t *Tree) Delete(rect Rect, match func(Item) bool) bool {
+	t.checkRect(rect)
+	var orphans []Item
+	removed := t.delete(t.root, rect, match, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single inner child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+	for _, it := range orphans {
+		t.size-- // Insert re-increments
+		t.Insert(it)
+	}
+	return true
+}
+
+func (t *Tree) delete(n *node, rect Rect, match func(Item) bool, orphans *[]Item) bool {
+	if n.leaf {
+		for i, it := range n.items {
+			if it.Rect.Intersects(rect) && match(it) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.refit(t.merger)
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if len(c.rect.Min) == 0 || !c.rect.Intersects(rect) {
+			continue
+		}
+		if t.delete(c, rect, match, orphans) {
+			// Condense: drop underflowing children, reinsert their items.
+			if c.underflow(t.min) {
+				n.children = append(n.children[:i], n.children[i+1:]...)
+				c.collect(orphans)
+			}
+			n.refit(t.merger)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) underflow(min int) bool {
+	if n.leaf {
+		return len(n.items) < min
+	}
+	return len(n.children) < min
+}
+
+// collect gathers every item under n.
+func (n *node) collect(out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		c.collect(out)
+	}
+}
+
+// Height returns the tree height (1 for a lone leaf root).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// RootAgg returns the aggregate over all items (merger.Zero() if empty).
+func (t *Tree) RootAgg() any { return t.root.agg }

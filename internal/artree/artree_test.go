@@ -1,0 +1,376 @@
+package artree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sumMerger aggregates float64 sums; simple and easy to verify.
+type sumMerger struct{}
+
+func (sumMerger) Zero() any { return 0.0 }
+func (sumMerger) Add(acc, agg any) any {
+	return acc.(float64) + agg.(float64)
+}
+
+// maxMerger keeps the max, a monotone aggregate like the paper's interval
+// bounds.
+type maxMerger struct{}
+
+func (maxMerger) Zero() any { return math.Inf(-1) }
+func (maxMerger) Add(acc, agg any) any {
+	return math.Max(acc.(float64), agg.(float64))
+}
+
+func TestRectBasics(t *testing.T) {
+	a := MustBox([]float64{0, 0}, []float64{2, 2})
+	b := MustBox([]float64{1, 1}, []float64{3, 3})
+	c := MustBox([]float64{5, 5}, []float64{6, 6})
+	if !a.Intersects(b) || b.Intersects(c) != false {
+		t.Fatal("Intersects wrong")
+	}
+	if !a.Intersects(a) {
+		t.Fatal("self intersection")
+	}
+	if a.Contains(b) {
+		t.Fatal("a must not contain b")
+	}
+	if !MustBox([]float64{0, 0}, []float64{9, 9}).Contains(b) {
+		t.Fatal("big box must contain b")
+	}
+	p := Point(1, 1)
+	if !a.Intersects(p) || !a.Contains(p) {
+		t.Fatal("point containment failed")
+	}
+	if _, err := Box([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+	if _, err := Box([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("inverted box must fail")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(2, sumMerger{})
+	tr.Insert(Item{Rect: Point(1, 1), Data: "a", Agg: 1.0})
+	tr.Insert(Item{Rect: Point(2, 2), Data: "b", Agg: 2.0})
+	tr.Insert(Item{Rect: Point(9, 9), Data: "c", Agg: 4.0})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	var got []string
+	tr.Search(MustBox([]float64{0, 0}, []float64{3, 3}), func(it Item) bool {
+		got = append(got, it.Data.(string))
+		return true
+	})
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[a b]" {
+		t.Fatalf("Search = %v, want [a b]", got)
+	}
+	if agg := tr.RootAgg().(float64); agg != 7 {
+		t.Fatalf("RootAgg = %v, want 7", agg)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(1, sumMerger{})
+	for i := 0; i < 50; i++ {
+		tr.Insert(Item{Rect: Point(float64(i)), Agg: 1.0})
+	}
+	n := 0
+	tr.Search(MustBox([]float64{0}, []float64{100}), func(Item) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2, sumMerger{})
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("fresh tree state wrong")
+	}
+	tr.Search(MustBox([]float64{0, 0}, []float64{1, 1}), func(Item) bool {
+		t.Fatal("empty tree must visit nothing")
+		return true
+	})
+	tr.Traverse(func(Rect, any) bool { return true }, func(Item) bool {
+		t.Fatal("empty tree traverse must visit nothing")
+		return true
+	})
+	if tr.Delete(Point(0, 0), func(Item) bool { return true }) {
+		t.Fatal("delete on empty tree must fail")
+	}
+}
+
+// validate checks structural invariants: child MBRs contained in parents,
+// aggregates consistent with the items below, fanout limits respected.
+func validate(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node, depth int) (count int, sum float64)
+	leafDepth := -1
+	walk = func(n *node, depth int) (int, float64) {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at different depths: %d vs %d", leafDepth, depth)
+			}
+			sum := 0.0
+			for _, it := range n.items {
+				if !n.rect.Contains(it.Rect) {
+					t.Fatalf("leaf MBR %v does not contain item %v", n.rect, it.Rect)
+				}
+				sum += it.Agg.(float64)
+			}
+			if n != tr.root && (len(n.items) < tr.min || len(n.items) > tr.max) {
+				t.Fatalf("leaf fanout %d outside [%d, %d]", len(n.items), tr.min, tr.max)
+			}
+			if math.Abs(n.agg.(float64)-sum) > 1e-9 {
+				t.Fatalf("leaf agg %v != sum %v", n.agg, sum)
+			}
+			return len(n.items), sum
+		}
+		if n != tr.root && (len(n.children) < tr.min || len(n.children) > tr.max) {
+			t.Fatalf("inner fanout %d outside [%d, %d]", len(n.children), tr.min, tr.max)
+		}
+		count, sum := 0, 0.0
+		for _, c := range n.children {
+			if !n.rect.Contains(c.rect) {
+				t.Fatalf("inner MBR %v does not contain child %v", n.rect, c.rect)
+			}
+			cc, cs := walk(c, depth+1)
+			count += cc
+			sum += cs
+		}
+		if math.Abs(n.agg.(float64)-sum) > 1e-9 {
+			t.Fatalf("inner agg %v != sum %v", n.agg, sum)
+		}
+		return count, sum
+	}
+	count, _ := walk(tr.root, 0)
+	if count != tr.Len() {
+		t.Fatalf("item count %d != Len %d", count, tr.Len())
+	}
+}
+
+func TestInvariantsUnderRandomInserts(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tr := New(3, sumMerger{}, WithFanout(8))
+	for i := 0; i < 500; i++ {
+		min := []float64{r.Float64(), r.Float64(), r.Float64()}
+		max := []float64{min[0] + r.Float64()*0.2, min[1] + r.Float64()*0.2, min[2] + r.Float64()*0.2}
+		tr.Insert(Item{Rect: MustBox(min, max), Data: i, Agg: 1.0})
+	}
+	validate(t, tr)
+	if tr.Height() < 2 {
+		t.Fatal("500 items with fanout 8 must produce height >= 2")
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	tr := New(2, sumMerger{}, WithFanout(6))
+	type stored struct {
+		rect Rect
+		id   int
+	}
+	var all []stored
+	for i := 0; i < 300; i++ {
+		min := []float64{r.Float64(), r.Float64()}
+		max := []float64{min[0] + r.Float64()*0.3, min[1] + r.Float64()*0.3}
+		rc := MustBox(min, max)
+		all = append(all, stored{rc, i})
+		tr.Insert(Item{Rect: rc, Data: i, Agg: 1.0})
+	}
+	for trial := 0; trial < 100; trial++ {
+		qmin := []float64{r.Float64(), r.Float64()}
+		qmax := []float64{qmin[0] + r.Float64()*0.4, qmin[1] + r.Float64()*0.4}
+		q := MustBox(qmin, qmax)
+		want := map[int]bool{}
+		for _, s := range all {
+			if s.rect.Intersects(q) {
+				want[s.id] = true
+			}
+		}
+		got := map[int]bool{}
+		tr.Search(q, func(it Item) bool {
+			got[it.Data.(int)] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	tr := New(2, sumMerger{}, WithFanout(6))
+	var pts []Rect
+	for i := 0; i < 200; i++ {
+		p := Point(r.Float64(), r.Float64())
+		pts = append(pts, p)
+		tr.Insert(Item{Rect: p, Data: i, Agg: 1.0})
+	}
+	// Delete half in random order.
+	perm := r.Perm(200)
+	for k := 0; k < 100; k++ {
+		id := perm[k]
+		ok := tr.Delete(pts[id], func(it Item) bool { return it.Data.(int) == id })
+		if !ok {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d after deletes, want 100", tr.Len())
+	}
+	validate(t, tr)
+	// Remaining items still findable.
+	for k := 100; k < 200; k++ {
+		id := perm[k]
+		found := false
+		tr.Search(pts[id], func(it Item) bool {
+			if it.Data.(int) == id {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("item %d lost after deletions", id)
+		}
+	}
+	// Delete the rest.
+	for k := 100; k < 200; k++ {
+		id := perm[k]
+		if !tr.Delete(pts[id], func(it Item) bool { return it.Data.(int) == id }) {
+			t.Fatalf("final delete %d failed", id)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all, want 0", tr.Len())
+	}
+	if tr.Delete(Point(0.5, 0.5), func(Item) bool { return true }) {
+		t.Fatal("delete on emptied tree must return false")
+	}
+}
+
+func TestDeleteNoMatch(t *testing.T) {
+	tr := New(1, sumMerger{})
+	tr.Insert(Item{Rect: Point(1), Data: "x", Agg: 1.0})
+	if tr.Delete(Point(1), func(it Item) bool { return false }) {
+		t.Fatal("non-matching delete must return false")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("failed delete must not change Len")
+	}
+}
+
+func TestTraversePruning(t *testing.T) {
+	// With a max aggregate, prune all subtrees whose max < 90 and check we
+	// only see large items.
+	r := rand.New(rand.NewSource(24))
+	tr := New(1, maxMerger{}, WithFanout(4))
+	for i := 0; i < 200; i++ {
+		v := r.Float64() * 100
+		tr.Insert(Item{Rect: Point(v / 100), Data: v, Agg: v})
+	}
+	var visited []float64
+	tr.Traverse(
+		func(_ Rect, agg any) bool { return agg.(float64) >= 90 },
+		func(it Item) bool {
+			visited = append(visited, it.Data.(float64))
+			return true
+		},
+	)
+	// Every item >= 90 must be visited (its ancestors all have max >= 90).
+	want := 0
+	tr.Search(MustBox([]float64{0}, []float64{1}), func(it Item) bool {
+		if it.Data.(float64) >= 90 {
+			want++
+		}
+		return true
+	})
+	got := 0
+	for _, v := range visited {
+		if v >= 90 {
+			got++
+		}
+	}
+	if got != want {
+		t.Fatalf("pruned traversal saw %d large items, want %d", got, want)
+	}
+}
+
+func TestTraverseEarlyStop(t *testing.T) {
+	tr := New(1, sumMerger{})
+	for i := 0; i < 50; i++ {
+		tr.Insert(Item{Rect: Point(float64(i) / 50), Agg: 1.0})
+	}
+	n := 0
+	tr.Traverse(func(Rect, any) bool { return true }, func(Item) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d, want 7", n)
+	}
+}
+
+func TestMixedInsertDeleteInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	tr := New(2, sumMerger{}, WithFanout(5))
+	type live struct {
+		rect Rect
+		id   int
+	}
+	var alive []live
+	next := 0
+	for round := 0; round < 2000; round++ {
+		if len(alive) == 0 || r.Float64() < 0.6 {
+			p := Point(r.Float64(), r.Float64())
+			tr.Insert(Item{Rect: p, Data: next, Agg: 1.0})
+			alive = append(alive, live{p, next})
+			next++
+		} else {
+			k := r.Intn(len(alive))
+			v := alive[k]
+			if !tr.Delete(v.rect, func(it Item) bool { return it.Data.(int) == v.id }) {
+				t.Fatalf("round %d: delete %d failed", round, v.id)
+			}
+			alive = append(alive[:k], alive[k+1:]...)
+		}
+	}
+	if tr.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(alive))
+	}
+	validate(t, tr)
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero dims", func() { New(0, sumMerger{}) })
+	mustPanic("nil merger", func() { New(1, nil) })
+	tr := New(2, sumMerger{})
+	mustPanic("dim mismatch insert", func() { tr.Insert(Item{Rect: Point(1), Agg: 1.0}) })
+	mustPanic("dim mismatch search", func() { tr.Search(Point(1), func(Item) bool { return true }) })
+}

@@ -1,0 +1,98 @@
+package artree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkRect(a, b, c, d float64) Rect {
+	lo0, hi0 := a, b
+	if lo0 > hi0 {
+		lo0, hi0 = hi0, lo0
+	}
+	lo1, hi1 := c, d
+	if lo1 > hi1 {
+		lo1, hi1 = hi1, lo1
+	}
+	return MustBox([]float64{lo0, lo1}, []float64{hi0, hi1})
+}
+
+// TestQuickRectLaws checks the geometric laws the tree relies on:
+// intersection symmetry, containment implying intersection, enlargement
+// containing both inputs, and volume monotonicity.
+func TestQuickRectLaws(t *testing.T) {
+	sym := func(a, b, c, d, e, f, g, h float64) bool {
+		x, y := mkRect(a, b, c, d), mkRect(e, f, g, h)
+		return x.Intersects(y) == y.Intersects(x)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	enl := func(a, b, c, d, e, f, g, h float64) bool {
+		x, y := mkRect(a, b, c, d), mkRect(e, f, g, h)
+		u := x.enlarged(y)
+		return u.Contains(x) && u.Contains(y) &&
+			u.volume() >= x.volume()-1e-9 && u.volume() >= y.volume()-1e-9
+	}
+	if err := quick.Check(enl, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	containsImpliesIntersects := func(a, b, c, d, e, f, g, h float64) bool {
+		x, y := mkRect(a, b, c, d), mkRect(e, f, g, h)
+		if x.Contains(y) {
+			return x.Intersects(y)
+		}
+		return true
+	}
+	if err := quick.Check(containsImpliesIntersects, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	selfLaws := func(a, b, c, d float64) bool {
+		x := mkRect(a, b, c, d)
+		return x.Contains(x) && x.Intersects(x) && x.enlarged(x).equal(x)
+	}
+	if err := quick.Check(selfLaws, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSearchCompleteness: for random trees and queries, Search returns
+// exactly the brute-force intersection set.
+func TestQuickSearchCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 40; trial++ {
+		tr := New(2, sumMerger{}, WithFanout(4+r.Intn(8)))
+		type stored struct {
+			rect Rect
+			id   int
+		}
+		var all []stored
+		n := 10 + r.Intn(150)
+		for i := 0; i < n; i++ {
+			rc := mkRect(r.Float64(), r.Float64(), r.Float64(), r.Float64())
+			all = append(all, stored{rc, i})
+			tr.Insert(Item{Rect: rc, Data: i, Agg: 1.0})
+		}
+		q := mkRect(r.Float64(), r.Float64(), r.Float64(), r.Float64())
+		want := map[int]bool{}
+		for _, s := range all {
+			if s.rect.Intersects(q) {
+				want[s.id] = true
+			}
+		}
+		got := map[int]bool{}
+		tr.Search(q, func(it Item) bool {
+			got[it.Data.(int)] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing %d", trial, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package artree implements an aggregate R-tree (aR-tree, Lazaridis &
+// Mehrotra [20]): a Guttman R-tree whose nodes additionally carry
+// user-defined aggregates folded bottom-up. The CDD-index and DR-index of
+// Section 5.1 are built on it.
+package artree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned d-dimensional box. Points are boxes with
+// Min == Max.
+type Rect struct {
+	Min, Max []float64
+}
+
+// Point builds a degenerate rectangle around coords.
+func Point(coords ...float64) Rect {
+	return Rect{Min: append([]float64(nil), coords...), Max: append([]float64(nil), coords...)}
+}
+
+// Box builds a rectangle; min and max must have equal length and
+// min[i] <= max[i].
+func Box(min, max []float64) (Rect, error) {
+	if len(min) != len(max) {
+		return Rect{}, fmt.Errorf("artree: box dims mismatch %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("artree: box dim %d inverted: [%v, %v]", i, min[i], max[i])
+		}
+	}
+	return Rect{Min: append([]float64(nil), min...), Max: append([]float64(nil), max...)}, nil
+}
+
+// MustBox is Box that panics on error.
+func MustBox(min, max []float64) Rect {
+	r, err := Box(min, max)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Dims returns the dimensionality.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Intersects reports whether r and o overlap (boundaries touching counts).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > o.Max[i] || r.Max[i] < o.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	for i := range r.Min {
+		if o.Min[i] < r.Min[i] || o.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// enlarged returns the MBR of r and o.
+func (r Rect) enlarged(o Rect) Rect {
+	out := Rect{Min: make([]float64, len(r.Min)), Max: make([]float64, len(r.Max))}
+	for i := range r.Min {
+		out.Min[i] = math.Min(r.Min[i], o.Min[i])
+		out.Max[i] = math.Max(r.Max[i], o.Max[i])
+	}
+	return out
+}
+
+// margin returns the sum of side lengths; used as a degenerate-volume-safe
+// size measure.
+func (r Rect) margin() float64 {
+	m := 0.0
+	for i := range r.Min {
+		m += r.Max[i] - r.Min[i]
+	}
+	return m
+}
+
+// volume returns the d-dimensional volume plus a small margin term so that
+// degenerate (zero-volume) rectangles still order sensibly.
+func (r Rect) volume() float64 {
+	v := 1.0
+	for i := range r.Min {
+		v *= r.Max[i] - r.Min[i]
+	}
+	return v + 1e-9*r.margin()
+}
+
+// enlargement returns the growth in volume when extending r to cover o.
+func (r Rect) enlargement(o Rect) float64 {
+	return r.enlarged(o).volume() - r.volume()
+}
+
+// equal reports exact coordinate equality.
+func (r Rect) equal(o Rect) bool {
+	if len(r.Min) != len(o.Min) {
+		return false
+	}
+	for i := range r.Min {
+		if r.Min[i] != o.Min[i] || r.Max[i] != o.Max[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package cddindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"terids/internal/rules"
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+// TestDepBoundCoversApplicableRules: for random rule sets and queries, the
+// coarse DepBound must contain the dependent interval of every rule that
+// actually applies — the safety property the index join's coarse query
+// ranges rely on.
+func TestDepBoundCoversApplicableRules(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	words := []string{"male", "female", "fever", "cough", "rash"}
+	randText := func() string {
+		out := ""
+		for i := 0; i <= r.Intn(2); i++ {
+			out += words[r.Intn(len(words))] + " "
+		}
+		return out
+	}
+	for trial := 0; trial < 30; trial++ {
+		set := rules.NewSet(4)
+		for i := 0; i < 40; i++ {
+			var dets []rules.Constraint
+			attr := r.Intn(3) // 0..2, dependent is 3
+			if r.Intn(2) == 0 {
+				v := randText()
+				dets = append(dets, rules.Constraint{Attr: attr, Kind: rules.Const, Value: v, Toks: tokens.Tokenize(v)})
+			} else {
+				lo := r.Float64() * 0.5
+				dets = append(dets, rules.Constraint{Attr: attr, Kind: rules.Interval, Min: lo, Max: lo + r.Float64()*0.5})
+			}
+			lo := r.Float64() * 0.5
+			set.MustAdd(&rules.Rule{
+				Kind: rules.KindCDD, Dependent: 3, Determinants: dets,
+				DepMin: lo, DepMax: lo + r.Float64()*0.5,
+			})
+		}
+		ix, err := Build(set, 3, sel4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			vals := []string{randText(), randText(), randText(), "-"}
+			if r.Intn(4) == 0 {
+				vals[r.Intn(3)] = "-"
+			}
+			rec := tuple.MustRecord(schema, fmt.Sprintf("q%d", q), 0, 0, vals)
+			bound := ix.DepBound(rec)
+			for _, rule := range set.ForDependent(3) {
+				if !rule.AppliesTo(rec) {
+					continue
+				}
+				if bound.IsEmpty() || bound.Lo > rule.DepMin || bound.Hi < rule.DepMax {
+					t.Fatalf("trial %d: DepBound %+v does not cover applicable rule %v",
+						trial, bound, rule)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestAblationsPreserveResults verifies the safety claim behind the
+// ablation benchmarks: disabling any pruning strategy (or all of them)
+// changes cost only, never the entity set.
+func TestAblationsPreserveResults(t *testing.T) {
+	f := newFixture(t, 61, 40, 100, 0.4)
+	base := testConfig()
+	ref, err := NewProcessor(f.shared, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKeys := runAll(t, ref, f.stream)
+
+	variants := map[string]AblateConfig{
+		"no-topic":    {Topic: true},
+		"no-sim":      {Sim: true},
+		"no-prob":     {Prob: true},
+		"no-instpair": {InstPair: true},
+		"none":        {Topic: true, Sim: true, Prob: true, InstPair: true},
+	}
+	for name, ab := range variants {
+		cfg := base
+		cfg.Ablate = ab
+		p, err := NewProcessor(f.shared, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := runAll(t, p, f.stream)
+		if len(keys) != len(refKeys) {
+			t.Fatalf("%s: %d pairs, reference %d", name, len(keys), len(refKeys))
+		}
+		for k := range refKeys {
+			if !keys[k] {
+				t.Fatalf("%s: missing pair %v", name, k)
+			}
+		}
+	}
+}
+
+// TestAblationShiftsWork confirms the fully-ablated processor refines more
+// pairs than the pruned one (the cost the pruning strategies save).
+func TestAblationShiftsWork(t *testing.T) {
+	f := newFixture(t, 67, 40, 100, 0.4)
+	base := testConfig()
+	pruned, _ := NewProcessor(f.shared, base)
+	runAll(t, pruned, f.stream)
+
+	cfg := base
+	cfg.Ablate = AblateConfig{Topic: true, Sim: true, Prob: true, InstPair: true}
+	open, _ := NewProcessor(f.shared, cfg)
+	runAll(t, open, f.stream)
+
+	if open.PruneStats().Refined <= pruned.PruneStats().Refined {
+		t.Fatalf("ablated processor refined %d pairs, pruned %d — pruning saved nothing?",
+			open.PruneStats().Refined, pruned.PruneStats().Refined)
+	}
+}

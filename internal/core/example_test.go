@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"terids/internal/core"
+	"terids/internal/repository"
+	"terids/internal/tuple"
+)
+
+// Example runs the complete TER-iDS pipeline on a miniature health-forum
+// workload: offline preparation over a repository, then online resolution
+// of posts from two streams, with one post's diagnosis imputed.
+func Example() {
+	schema := tuple.MustSchema("Gender", "Symptom", "Diagnosis")
+	mk := func(rid string, vals ...string) *tuple.Record {
+		return tuple.MustRecord(schema, rid, 0, 0, vals)
+	}
+	// Historical posts: symptom variants of two diseases across genders,
+	// enough pairs for the miner to detect symptom→diagnosis rules.
+	var hist []*tuple.Record
+	variants := map[string][]string{
+		"diabetes": {
+			"thirst weight loss blurred vision",
+			"thirst weight loss vision",
+			"thirst weight blurred vision",
+			"weight loss blurred vision",
+		},
+		"flu": {
+			"fever cough aches fatigue",
+			"fever cough aches",
+			"fever cough fatigue",
+			"fever aches fatigue",
+		},
+	}
+	i := 0
+	for _, diag := range []string{"diabetes", "flu"} {
+		for _, sym := range variants[diag] {
+			for _, gender := range []string{"male", "female"} {
+				i++
+				hist = append(hist, mk(fmt.Sprintf("h%02d", i), gender, sym, diag))
+			}
+		}
+	}
+	repo, err := repository.Build(schema, hist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sh, err := core.Prepare(repo, core.DefaultPrepareConfig([]string{"diabetes"}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := core.NewProcessor(sh, core.Config{
+		Keywords:   []string{"diabetes"},
+		Gamma:      1.8,
+		Alpha:      0.3,
+		WindowSize: 4,
+		Streams:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arrivals := []*tuple.Record{
+		tuple.MustRecord(schema, "a1", 0, 0, []string{"male", "thirst weight loss blurred vision", "diabetes"}),
+		tuple.MustRecord(schema, "b1", 1, 1, []string{"male", "fever cough aches", "flu"}),
+		// b2's diagnosis is missing and is imputed from the repository.
+		tuple.MustRecord(schema, "b2", 1, 2, []string{"male", "thirst weight loss vision", "-"}),
+	}
+	for _, r := range arrivals {
+		pairs, err := proc.Advance(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pairs {
+			fmt.Printf("match: %s ~ %s\n", p.A.RID, p.B.RID)
+		}
+	}
+	fmt.Printf("live pairs: %d\n", proc.Results().Len())
+	// Output:
+	// match: a1 ~ b2
+	// live pairs: 1
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEquivalenceAcrossParameterGrid re-asserts TER-iDS == straightforward
+// method over a grid of thresholds and window sizes — the regimes where
+// pruning behaves very differently (everything pruned vs nothing pruned).
+func TestEquivalenceAcrossParameterGrid(t *testing.T) {
+	f := newFixture(t, 71, 40, 90, 0.4)
+	for _, alpha := range []float64{0.05, 0.45, 0.85} {
+		for _, gamma := range []float64{1.2, 2.0, 3.2} {
+			for _, w := range []int{5, 25} {
+				cfg := testConfig()
+				cfg.Alpha = alpha
+				cfg.Gamma = gamma
+				cfg.WindowSize = w
+				name := fmt.Sprintf("alpha=%v,gamma=%v,w=%d", alpha, gamma, w)
+				ter, err := NewProcessor(f.shared, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				naive, err := NewBaseline(f.shared, cfg, Naive)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				tk := runAll(t, ter, f.stream)
+				nk := runAll(t, naive, f.stream)
+				if len(tk) != len(nk) {
+					t.Fatalf("%s: TER-iDS %d pairs, naive %d", name, len(tk), len(nk))
+				}
+				for k := range nk {
+					if !tk[k] {
+						t.Fatalf("%s: TER-iDS missed %v", name, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdvanceReturnedPairsMatchResultSet ensures the incremental pairs
+// returned by Advance exactly reconstruct the live result set (modulo
+// evictions).
+func TestAdvanceReturnedPairsMatchResultSet(t *testing.T) {
+	f := newFixture(t, 73, 40, 80, 0.3)
+	cfg := testConfig()
+	cfg.WindowSize = 15
+	ter, _ := NewProcessor(f.shared, cfg)
+	type liveRec struct{ a, b string }
+	incremental := map[liveRec]bool{}
+	evicted := map[string]bool{}
+	window := map[int][]string{}
+	for _, r := range f.stream {
+		pairs, err := ter.Advance(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Track manual window eviction.
+		window[r.Stream] = append(window[r.Stream], r.RID)
+		if len(window[r.Stream]) > cfg.WindowSize {
+			evicted[window[r.Stream][0]] = true
+			window[r.Stream] = window[r.Stream][1:]
+		}
+		for _, p := range pairs {
+			incremental[liveRec{p.A.RID, p.B.RID}] = true
+		}
+	}
+	// The live set must equal the incremental pairs minus those involving
+	// evicted tuples.
+	want := map[liveRec]bool{}
+	for p := range incremental {
+		if !evicted[p.a] && !evicted[p.b] {
+			want[p] = true
+		}
+	}
+	got := map[liveRec]bool{}
+	for _, p := range ter.Results().Pairs() {
+		got[liveRec{p.A.RID, p.B.RID}] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("live set %d pairs, reconstruction %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("reconstruction missing %v", p)
+		}
+	}
+}

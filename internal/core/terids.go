@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"terids/internal/grid"
+	"terids/internal/impute"
+	"terids/internal/metrics"
+	"terids/internal/prune"
+	"terids/internal/rules"
+	"terids/internal/stream"
+	"terids/internal/tuple"
+)
+
+// Processor is the TER-iDS operator of Algorithm 2: it maintains the
+// ER-grid over the sliding windows, imputes arriving incomplete tuples via
+// the CDD-index/DR-index join, prunes candidate pairs with Theorems 4.1-4.4,
+// and refines survivors into the entity set ES.
+type Processor struct {
+	sh      *Shared
+	cfg     Config
+	windows *stream.MultiWindow
+	// timeWins replaces windows in time-based mode (cfg.TimeSpan > 0).
+	timeWins []*stream.TimeWindow
+	grid     *grid.Grid
+	results  *ResultSet
+
+	breakdown metrics.Breakdown
+	pruneStat metrics.PruneStats
+}
+
+// NewProcessor builds the TER-iDS processor over pre-computed Shared state.
+func NewProcessor(sh *Shared, cfg Config) (*Processor, error) {
+	if err := cfg.Validate(sh.Schema.D()); err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		sh:      sh,
+		cfg:     cfg,
+		results: NewResultSet(),
+	}
+	if cfg.TimeSpan > 0 {
+		p.timeWins = make([]*stream.TimeWindow, cfg.Streams)
+		for i := range p.timeWins {
+			tw, err := stream.NewTimeWindow(cfg.TimeSpan)
+			if err != nil {
+				return nil, err
+			}
+			p.timeWins[i] = tw
+		}
+	} else {
+		mw, err := stream.NewMultiWindow(cfg.Streams, cfg.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		p.windows = mw
+	}
+	nPiv := 1 + sh.Sel.MaxAux()
+	g, err := grid.New(sh.Schema.D(), cfg.CellsPerDim, nPiv, len(sh.Keywords))
+	if err != nil {
+		return nil, err
+	}
+	p.grid = g
+	return p, nil
+}
+
+// pushWindow routes an arrival into the configured window model and
+// returns the tuples it expires.
+func (p *Processor) pushWindow(r *tuple.Record) ([]*tuple.Record, error) {
+	if p.timeWins != nil {
+		if r.Stream < 0 || r.Stream >= len(p.timeWins) {
+			return nil, fmt.Errorf("core: record %s has stream %d, have %d streams",
+				r.RID, r.Stream, len(p.timeWins))
+		}
+		tw := p.timeWins[r.Stream]
+		if err := tw.Push(r); err != nil {
+			return nil, err
+		}
+		return tw.Advance(r.Seq), nil
+	}
+	expired, err := p.windows.Push(r)
+	if err != nil {
+		return nil, err
+	}
+	if expired == nil {
+		return nil, nil
+	}
+	return []*tuple.Record{expired}, nil
+}
+
+// Name implements Resolver.
+func (p *Processor) Name() string { return "TER-iDS" }
+
+// Results implements Resolver.
+func (p *Processor) Results() *ResultSet { return p.results }
+
+// Breakdown implements Resolver.
+func (p *Processor) Breakdown() metrics.Breakdown { return p.breakdown }
+
+// PruneStats implements Resolver.
+func (p *Processor) PruneStats() metrics.PruneStats { return p.pruneStat }
+
+// Grid exposes the synopsis (tests and diagnostics).
+func (p *Processor) Grid() *grid.Grid { return p.grid }
+
+// Advance implements Resolver: one arriving tuple r_t.
+func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
+	if r.Schema() != p.sh.Schema {
+		return nil, fmt.Errorf("core: record %s uses a foreign schema", r.RID)
+	}
+	// Expiry (Algorithm 2 lines 2-7): expired tuples of r's stream leave
+	// the window, the grid, and the entity set.
+	expired, err := p.pushWindow(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range expired {
+		p.grid.Remove(e.RID)
+		p.results.RemoveRID(e.RID)
+	}
+
+	// Imputation via the index join (line 9).
+	im := p.imputeIndexed(r)
+
+	var sw metrics.Stopwatch
+	sw.Start()
+	prof := prune.BuildProfile(im, p.sh.Sel, p.sh.Keywords)
+
+	// ER over the grid with the pruning cascade (lines 14-25).
+	newPairs := p.resolve(prof)
+
+	// Insert r^p into the grid (lines 11-13).
+	if err := p.grid.Insert(&grid.Entry{Rec: r, Prof: prof}); err != nil {
+		return nil, err
+	}
+	p.breakdown.ER += sw.Lap()
+
+	for _, pair := range newPairs {
+		p.results.Add(pair)
+	}
+	return newPairs, nil
+}
+
+// imputeIndexed is the 3-way join's imputation side: CDD-index rule
+// selection plus DR-index sample retrieval, accumulating candidates through
+// the pivot-accelerated domain index.
+func (p *Processor) imputeIndexed(r *tuple.Record) *tuple.Imputed {
+	if r.IsComplete() {
+		return tuple.FromComplete(r)
+	}
+	im := &tuple.Imputed{R: r, Dists: make([]tuple.AttrDist, r.D())}
+	var sw metrics.Stopwatch
+	for j := 0; j < r.D(); j++ {
+		if !r.IsMissing(j) {
+			im.Dists[j] = tuple.Point(r.Value(j), r.Tokens(j))
+			continue
+		}
+		sw.Start()
+		var applicable []*rules.Rule
+		p.sh.CDDIdx[j].Applicable(r, func(rule *rules.Rule) bool {
+			applicable = append(applicable, rule)
+			return true
+		})
+		p.breakdown.Select += sw.Lap()
+
+		dom := p.sh.Repo.Domain(j)
+		acc := impute.NewAccumulator(dom, p.sh.DomIdx[j])
+		p.sh.DRIdx.MatchingSamplesMulti(r, applicable, func(ri int, s *tuple.Record) bool {
+			acc.AddSample(dom.Lookup(s.Value(j)), applicable[ri].DepMin, applicable[ri].DepMax)
+			return true
+		})
+		im.Dists[j] = acc.Distribution(p.cfg.Impute)
+		p.breakdown.Impute += sw.Lap()
+	}
+	return im
+}
+
+// resolve runs the pruning cascade of Section 4 over the grid candidates of
+// q and returns the matching pairs.
+func (p *Processor) resolve(q *prune.Profile) []Pair {
+	var out []Pair
+	var survivors []*grid.Entry
+	p.grid.Candidates(q, grid.Query{
+		Gamma:        p.cfg.Gamma,
+		DisableTopic: p.cfg.Ablate.Topic,
+		DisableSim:   p.cfg.Ablate.Sim,
+	}, func(e *grid.Entry) bool {
+		survivors = append(survivors, e)
+		return true
+	})
+	// Deterministic order via insertion ordinals (cheap int sort).
+	slices.SortFunc(survivors, func(a, b *grid.Entry) int {
+		return int(a.Ord() - b.Ord())
+	})
+
+	// Exact pruning attribution (Figure 4): every live other-stream tuple
+	// forms one candidate pair with q. Pairs eliminated at cell level are
+	// attributed to the strategy that would have eliminated them. This
+	// pass costs O(live tuples), so it is gated behind TrackPruning.
+	if p.cfg.TrackPruning {
+		live := make(map[int64]struct{}, len(survivors))
+		for _, e := range survivors {
+			live[e.Ord()] = struct{}{}
+		}
+		p.grid.Each(func(e *grid.Entry) bool {
+			if e.Rec.Stream == q.Im.R.Stream {
+				return true
+			}
+			p.pruneStat.Considered++
+			if _, ok := live[e.Ord()]; ok {
+				return true
+			}
+			if prune.TopicPrune(q, e.Prof) {
+				p.pruneStat.Topic++
+			} else {
+				p.pruneStat.SimUB++
+			}
+			return true
+		})
+	} else {
+		p.pruneStat.Considered += int64(len(survivors))
+	}
+
+	for _, e := range survivors {
+		// Theorem 4.1.
+		if !p.cfg.Ablate.Topic && prune.TopicPrune(q, e.Prof) {
+			p.pruneStat.Topic++
+			continue
+		}
+		// Theorem 4.2 (size + pivot bounds).
+		if !p.cfg.Ablate.Sim && prune.SimPrune(q.Bounds, e.Prof.Bounds, p.cfg.Gamma) {
+			p.pruneStat.SimUB++
+			continue
+		}
+		// Theorem 4.3 (Paley-Zygmund).
+		if !p.cfg.Ablate.Prob && prune.ProbPrune(q, e.Prof, p.cfg.Gamma, p.cfg.Alpha) {
+			p.pruneStat.ProbUB++
+			continue
+		}
+		if p.cfg.Ablate.InstPair {
+			// Ablated Theorem 4.4: full Equation 2.
+			prob := prune.ExactProbability(q, e.Prof, p.cfg.Gamma)
+			p.pruneStat.Refined++
+			if prob > p.cfg.Alpha {
+				out = append(out, newPair(q.Im.R, e.Rec, prob))
+			}
+			continue
+		}
+		// Theorem 4.4 inside the refinement.
+		res := prune.Refine(q, e.Prof, p.cfg.Gamma, p.cfg.Alpha)
+		if res.PrunedEarly {
+			p.pruneStat.InstPair++
+			continue
+		}
+		p.pruneStat.Refined++
+		if res.Match {
+			out = append(out, newPair(q.Im.R, e.Rec, res.Prob))
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTimeBasedProcessor exercises the time-based window extension: tuples
+// expire by timestamp distance rather than count, several tuples may share
+// a timestamp, and pairs evaporate when either side ages out.
+func TestTimeBasedProcessor(t *testing.T) {
+	f := newFixture(t, 81, 40, 0, 0)
+	cfg := testConfig()
+	cfg.TimeSpan = 5
+	ter, err := NewProcessor(f.shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	dz := diseases[0] // diabetes: keyword-bearing
+
+	a := f.record(r, 0, 10, dz, 0)
+	b := f.record(r, 1, 11, dz, 0)
+	if _, err := ter.Advance(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ter.Advance(b); err != nil {
+		t.Fatal(err)
+	}
+	if !ter.Results().Has(a.RID, b.RID) {
+		t.Fatal("expected the matching pair inside the time window")
+	}
+
+	// Advance stream 0's clock beyond the span: a (Seq 10) must expire
+	// once a tuple with Seq > 15 arrives on its stream.
+	late := f.record(r, 0, 16, diseases[2], 0)
+	if _, err := ter.Advance(late); err != nil {
+		t.Fatal(err)
+	}
+	if ter.Results().Has(a.RID, b.RID) {
+		t.Fatal("pair must be evicted after a ages out of the time window")
+	}
+	if _, ok := ter.Grid().Get(a.RID); ok {
+		t.Fatal("expired tuple must leave the grid")
+	}
+	// b is governed by its own stream's clock and must still be resident.
+	if _, ok := ter.Grid().Get(b.RID); !ok {
+		t.Fatal("b must still be live on stream 1")
+	}
+}
+
+// TestTimeBasedMatchesCountBasedWhenEquivalent: with one tuple per
+// timestamp per stream and span == count, both window models hold the same
+// tuples, so the result sets must agree.
+func TestTimeBasedMatchesCountBasedWhenEquivalent(t *testing.T) {
+	f := newFixture(t, 83, 40, 80, 0.3)
+	// Per-stream consecutive timestamps: re-sequence arrivals per stream.
+	perStream := map[int]int64{}
+	for _, r := range f.stream {
+		r.Seq = perStream[r.Stream]
+		perStream[r.Stream]++
+	}
+	count := testConfig()
+	count.WindowSize = 10
+	timed := testConfig()
+	timed.TimeSpan = 10
+
+	pc, err := NewProcessor(f.shared, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewProcessor(f.shared, timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := runAll(t, pc, f.stream)
+	tk := runAll(t, pt, f.stream)
+	if len(ck) != len(tk) {
+		t.Fatalf("count-based %d pairs, time-based %d", len(ck), len(tk))
+	}
+	for k := range ck {
+		if !tk[k] {
+			t.Fatalf("time-based missed %v", k)
+		}
+	}
+}
+
+func TestTimeBasedRejectsBadStream(t *testing.T) {
+	f := newFixture(t, 85, 40, 0, 0)
+	cfg := testConfig()
+	cfg.TimeSpan = 5
+	ter, _ := NewProcessor(f.shared, cfg)
+	r := rand.New(rand.NewSource(2))
+	bad := f.record(r, 0, 0, diseases[0], 0)
+	bad.Stream = 9
+	if _, err := ter.Advance(bad); err == nil {
+		t.Fatal("out-of-range stream must error")
+	}
+}

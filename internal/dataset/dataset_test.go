@@ -1,0 +1,305 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+
+	"terids/internal/tokens"
+)
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("want 5 profiles, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if len(p.Attrs) != len(p.TokensPerAttr) || len(p.Attrs) != len(p.VocabPerAttr) {
+			t.Errorf("%s: attribute metadata lengths inconsistent", p.Name)
+		}
+		if p.TopicAttr < 0 || p.TopicAttr >= len(p.Attrs) {
+			t.Errorf("%s: topic attribute out of range", p.Name)
+		}
+		if len(p.Topics) == 0 {
+			t.Errorf("%s: no topics", p.Name)
+		}
+	}
+	for _, want := range []string{"Citations", "Anime", "Bikes", "EBooks", "Songs"} {
+		if !names[want] {
+			t.Errorf("missing profile %s", want)
+		}
+	}
+	// EBooks must have the longest attribute (the paper's explanation for
+	// its cost).
+	eb, _ := ProfileByName("ebooks")
+	max := 0
+	for _, n := range eb.TokensPerAttr {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 20 {
+		t.Errorf("EBooks longest attribute %d tokens; want a long description", max)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("citations"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile must fail")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p, _ := ProfileByName("Citations")
+	opt := DefaultOptions()
+	opt.Scale = 0.2
+	d, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema.D() != 4 {
+		t.Fatalf("schema D = %d", d.Schema.D())
+	}
+	wantLen := scale(p.SourceA, 0.2) + scale(p.SourceB, 0.2)
+	if len(d.Stream) != wantLen {
+		t.Fatalf("stream length %d, want %d", len(d.Stream), wantLen)
+	}
+	if d.Repo.Len() == 0 {
+		t.Fatal("empty repository")
+	}
+	// Every stream record has a complete twin.
+	for _, r := range d.Stream {
+		c, ok := d.Complete[r.RID]
+		if !ok {
+			t.Fatalf("record %s lacks a complete twin", r.RID)
+		}
+		if !c.IsComplete() {
+			t.Fatalf("complete twin of %s is incomplete", r.RID)
+		}
+		if c.EntityID != r.EntityID {
+			t.Fatalf("entity mismatch for %s", r.RID)
+		}
+		// Non-missing attributes agree with the twin.
+		for j := 0; j < r.D(); j++ {
+			if !r.IsMissing(j) && r.Value(j) != c.Value(j) {
+				t.Fatalf("record %s attr %d differs from twin", r.RID, j)
+			}
+		}
+	}
+	// Seq values are consecutive in arrival order.
+	for i, r := range d.Stream {
+		if r.Seq != int64(i) {
+			t.Fatalf("stream[%d].Seq = %d", i, r.Seq)
+		}
+	}
+}
+
+func TestGenerateMissingRate(t *testing.T) {
+	p, _ := ProfileByName("Anime")
+	for _, xi := range []float64{0, 0.3, 0.8} {
+		opt := DefaultOptions()
+		opt.Scale = 0.3
+		opt.MissingRate = xi
+		d, err := Generate(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range d.Stream {
+			if !r.IsComplete() {
+				n++
+			}
+		}
+		got := float64(n) / float64(len(d.Stream))
+		if got < xi-0.12 || got > xi+0.12 {
+			t.Errorf("ξ=%v: observed missing rate %v", xi, got)
+		}
+	}
+}
+
+func TestGenerateMissingAttrs(t *testing.T) {
+	p, _ := ProfileByName("Bikes")
+	opt := DefaultOptions()
+	opt.Scale = 0.2
+	opt.MissingRate = 1.0
+	opt.MissingAttrs = 2
+	d, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Stream {
+		if r.MissingCount() != 2 {
+			t.Fatalf("record %s has %d missing attrs, want 2", r.RID, r.MissingCount())
+		}
+	}
+	// m capped at d-1.
+	opt.MissingAttrs = 10
+	d, err = Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Stream {
+		if r.MissingCount() != r.D()-1 {
+			t.Fatalf("m must cap at d-1, got %d", r.MissingCount())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("Citations")
+	opt := DefaultOptions()
+	opt.Scale = 0.2
+	a, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stream) != len(b.Stream) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range a.Stream {
+		if a.Stream[i].String() != b.Stream[i].String() {
+			t.Fatalf("record %d differs across identical seeds", i)
+		}
+	}
+	opt.Seed = 99
+	c, _ := Generate(p, opt)
+	same := true
+	for i := range a.Stream {
+		if a.Stream[i].String() != c.Stream[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestRepoRatio(t *testing.T) {
+	p, _ := ProfileByName("Anime")
+	sizes := map[float64]int{}
+	for _, eta := range []float64{0.1, 0.5} {
+		opt := DefaultOptions()
+		opt.Scale = 0.3
+		opt.RepoRatio = eta
+		d, err := Generate(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[eta] = d.Repo.Len()
+	}
+	if sizes[0.5] <= sizes[0.1] {
+		t.Fatalf("η=0.5 repo (%d) must exceed η=0.1 repo (%d)", sizes[0.5], sizes[0.1])
+	}
+}
+
+func TestTruthPairs(t *testing.T) {
+	p, _ := ProfileByName("Citations")
+	opt := DefaultOptions()
+	opt.Scale = 0.3
+	d, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := 2.0
+	truth := d.TruthPairs(50, gamma)
+	if len(truth) == 0 {
+		t.Fatal("no ground-truth matches; duplicates must exist")
+	}
+	kw := tokens.New(d.Keywords...)
+	// Spot-check: every truth pair satisfies the predicate on complete
+	// versions.
+	for k := range truth {
+		a, b := d.Complete[k.A], d.Complete[k.B]
+		if a.Stream == b.Stream {
+			t.Fatalf("truth pair %v is same-stream", k)
+		}
+		if !a.ContainsAnyKeyword(kw) && !b.ContainsAnyKeyword(kw) {
+			t.Fatalf("truth pair %v has no topic keyword", k)
+		}
+	}
+	// A bigger window cannot shrink the truth.
+	bigger := d.TruthPairs(500, gamma)
+	if len(bigger) < len(truth) {
+		t.Fatal("larger window must cover at least the same truth pairs")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	p, _ := ProfileByName("Anime")
+	opt := DefaultOptions()
+	opt.Scale = 0.2
+	d, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats(50, 2.0)
+	if st.Name != "Anime" {
+		t.Fatal("stats name wrong")
+	}
+	if st.SourceA+st.SourceB != len(d.Stream) {
+		t.Fatal("source sizes wrong")
+	}
+	if st.RepoSize != d.Repo.Len() {
+		t.Fatal("repo size wrong")
+	}
+	if st.Incomplete == 0 {
+		t.Fatal("default ξ=0.3 must produce incomplete tuples")
+	}
+}
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles() {
+		opt := DefaultOptions()
+		opt.Scale = 0.05
+		d, err := Generate(p, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(d.Stream) == 0 || d.Repo.Len() == 0 {
+			t.Fatalf("%s: empty output", p.Name)
+		}
+		// RIDs unique.
+		seen := map[string]bool{}
+		for _, r := range d.Stream {
+			if seen[r.RID] {
+				t.Fatalf("%s: duplicate RID %s", p.Name, r.RID)
+			}
+			seen[r.RID] = true
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	p, _ := ProfileByName("Citations")
+	opt := DefaultOptions()
+	opt.Scale = 0.5
+	d, err := Generate(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zipf-ish entity picker must create repeated entities (duplicate
+	// records) — count entity multiplicity.
+	counts := map[int]int{}
+	for _, r := range d.Stream {
+		counts[r.EntityID]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 3 {
+		t.Fatalf("expected skewed entity repetition, max multiplicity %d", maxCount)
+	}
+	_ = fmt.Sprint(maxCount)
+}

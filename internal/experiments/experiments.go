@@ -1,0 +1,286 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6 and Appendix C) over the synthetic dataset
+// profiles: pruning power (Fig. 4), effectiveness and efficiency across
+// datasets (Fig. 5), cost breakdown (Fig. 6), parameter sweeps over α, ρ,
+// ξ, w, η, m (Figs. 7-10, 13-17), offline pivot-selection and CDD-detection
+// costs (Figs. 11-12), and the dataset/parameter tables (Tables 4-5).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/metrics"
+)
+
+// Params are the sweep defaults of Table 5 (bold values) plus harness
+// scaling knobs. Sizes are scaled down from the paper's; the harness
+// reproduces shapes, not absolute wall-clock numbers.
+type Params struct {
+	// Alpha is the probabilistic threshold α (default 0.5).
+	Alpha float64
+	// Rho is γ/d (default 0.5).
+	Rho float64
+	// Xi is the missing rate ξ (default 0.3).
+	Xi float64
+	// W is the sliding window size (default 100 at harness scale; the
+	// paper uses 1000).
+	W int
+	// Eta is the repository/stream size ratio η (default 0.5).
+	Eta float64
+	// M is the number of missing attributes (default 1).
+	M int
+	// Scale multiplies dataset sizes (default 0.2 of the profile sizes).
+	Scale float64
+	// MaxStream caps the number of processed arrivals per run (0 = all).
+	MaxStream int
+	// Seed drives generation.
+	Seed int64
+	// CellsPerDim is the ER-grid resolution.
+	CellsPerDim int
+	// Datasets restricts the run (empty = all five).
+	Datasets []string
+}
+
+// DefaultParams mirrors Table 5's defaults at harness scale.
+func DefaultParams() Params {
+	return Params{
+		Alpha: 0.5, Rho: 0.5, Xi: 0.3, W: 100, Eta: 0.5, M: 1,
+		Scale: 0.2, MaxStream: 400, Seed: 1, CellsPerDim: 4,
+	}
+}
+
+func (p Params) datasets() []dataset.Profile {
+	all := dataset.Profiles()
+	if len(p.Datasets) == 0 {
+		return all
+	}
+	var out []dataset.Profile
+	for _, name := range p.Datasets {
+		for _, prof := range all {
+			if strings.EqualFold(prof.Name, name) {
+				out = append(out, prof)
+			}
+		}
+	}
+	return out
+}
+
+// Row is one table row of a report.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Report is a regenerated table/figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns)+1)
+	widths[0] = len("label")
+	for _, row := range r.Rows {
+		if len(row.Label) > widths[0] {
+			widths[0] = len(row.Label)
+		}
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(r.Columns))
+		for j, col := range r.Columns {
+			v, ok := row.Values[col]
+			if !ok {
+				cells[i][j] = "-"
+			} else {
+				cells[i][j] = formatValue(v)
+			}
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, col := range r.Columns {
+		if len(col) > widths[j+1] {
+			widths[j+1] = len(col)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0]+2, "label")
+	for j, col := range r.Columns {
+		fmt.Fprintf(&b, "%*s", widths[j+1]+2, col)
+	}
+	b.WriteByte('\n')
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0]+2, row.Label)
+		for j := range r.Columns {
+			fmt.Fprintf(&b, "%*s", widths[j+1]+2, cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 0.01:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// run bundles everything a single (dataset, params, method) execution
+// produces.
+type runOutcome struct {
+	perTupleSec float64
+	breakdown   metrics.Breakdown
+	prune       metrics.PruneStats
+	f1          float64
+	pairs       int
+}
+
+// prepared caches dataset generation + offline phase per (profile, params
+// that affect them).
+type prepared struct {
+	data *dataset.Data
+	sh   *core.Shared
+}
+
+func prepare(prof dataset.Profile, p Params) (*prepared, error) {
+	opt := dataset.Options{
+		Scale:        p.Scale,
+		MissingRate:  p.Xi,
+		MissingAttrs: p.M,
+		RepoRatio:    p.Eta,
+		Seed:         p.Seed,
+	}
+	d, err := dataset.Generate(prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := core.Prepare(d.Repo, core.DefaultPrepareConfig(d.Keywords))
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{data: d, sh: sh}, nil
+}
+
+func (pp *prepared) config(p Params) core.Config {
+	return core.Config{
+		Keywords:    pp.data.Keywords,
+		Gamma:       p.Rho * float64(pp.data.Schema.D()),
+		Alpha:       p.Alpha,
+		WindowSize:  p.W,
+		Streams:     2,
+		CellsPerDim: p.CellsPerDim,
+	}
+}
+
+// methodNames in the paper's presentation order.
+var methodNames = []string{"TER-iDS", "Ij+GER", "CDD+ER", "DD+ER", "er+ER", "con+ER"}
+
+// accuracyMethods are the Figure 5(a)/13/14/15 comparison set (Ij+GER and
+// CDD+ER share TER-iDS's imputation and hence its F-score).
+var accuracyMethods = []string{"TER-iDS", "DD+ER", "er+ER", "con+ER"}
+
+func newResolver(pp *prepared, cfg core.Config, name string) (core.Resolver, error) {
+	switch name {
+	case "TER-iDS":
+		return core.NewProcessor(pp.sh, cfg)
+	case "Ij+GER":
+		return core.NewBaseline(pp.sh, cfg, core.IjGER)
+	case "CDD+ER":
+		return core.NewBaseline(pp.sh, cfg, core.CDDER)
+	case "DD+ER":
+		return core.NewBaseline(pp.sh, cfg, core.DDER)
+	case "er+ER":
+		return core.NewBaseline(pp.sh, cfg, core.ErER)
+	case "con+ER":
+		return core.NewBaseline(pp.sh, cfg, core.ConER)
+	case "naive":
+		return core.NewBaseline(pp.sh, cfg, core.Naive)
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	}
+}
+
+// execute runs one method over the dataset stream and measures it.
+func execute(pp *prepared, p Params, method string) (runOutcome, error) {
+	return executeWith(pp, p, method, nil)
+}
+
+// executeWith is execute with a config hook (e.g. Figure 4 enables exact
+// pruning attribution).
+func executeWith(pp *prepared, p Params, method string, mutate func(*core.Config)) (runOutcome, error) {
+	cfg := pp.config(p)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := newResolver(pp, cfg, method)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	stream := pp.data.Stream
+	if p.MaxStream > 0 && len(stream) > p.MaxStream {
+		stream = stream[:p.MaxStream]
+	}
+	emitted := make(map[metrics.PairKey]bool)
+	start := time.Now()
+	for _, r := range stream {
+		pairs, err := res.Advance(r)
+		if err != nil {
+			return runOutcome{}, err
+		}
+		for _, pair := range pairs {
+			emitted[pair.Key()] = true
+		}
+	}
+	elapsed := time.Since(start)
+
+	truth := truthFor(pp, p, len(stream))
+	conf := metrics.Compare(emitted, truth)
+	return runOutcome{
+		perTupleSec: elapsed.Seconds() / float64(len(stream)),
+		breakdown:   res.Breakdown(),
+		prune:       res.PruneStats(),
+		f1:          conf.F1() * 100,
+		pairs:       len(emitted),
+	}, nil
+}
+
+// truthFor computes ground truth restricted to the processed stream
+// prefix.
+func truthFor(pp *prepared, p Params, processed int) map[metrics.PairKey]bool {
+	gamma := p.Rho * float64(pp.data.Schema.D())
+	full := pp.data.TruthPairs(p.W, gamma)
+	if processed >= len(pp.data.Stream) {
+		return full
+	}
+	// Restrict to pairs whose both members arrived within the prefix.
+	seen := make(map[string]bool, processed)
+	for _, r := range pp.data.Stream[:processed] {
+		seen[r.RID] = true
+	}
+	out := make(map[metrics.PairKey]bool)
+	for k := range full {
+		if seen[k.A] && seen[k.B] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/pivot"
+	"terids/internal/rules"
+	"terids/internal/tokens"
+)
+
+// Fig4 regenerates Figure 4: per-strategy pruning power over the five
+// datasets at default parameters.
+func Fig4(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig4",
+		Title:   "pruning power (%) per strategy",
+		Columns: []string{"topic", "simUB", "probUB", "instPair", "total"},
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		out, err := executeWith(pp, p, "TER-iDS", func(c *core.Config) { c.TrackPruning = true })
+		if err != nil {
+			return nil, err
+		}
+		topic, simUB, probUB, instPair, total := out.prune.Power()
+		rep.Rows = append(rep.Rows, Row{Label: prof.Name, Values: map[string]float64{
+			"topic": topic, "simUB": simUB, "probUB": probUB,
+			"instPair": instPair, "total": total,
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: topic 77.5-86.5, simUB 5.6-14.2, probUB 2.2-3.6, instPair 1.5-4.4, total 98.3-99.4")
+	return rep, nil
+}
+
+// Fig5a regenerates Figure 5(a): F-score per method per dataset.
+func Fig5a(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig5a",
+		Title:   "F-score (%) per method",
+		Columns: accuracyMethods,
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for _, m := range accuracyMethods {
+			out, err := execute(pp, p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[m] = out.f1
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: TER-iDS 94.6-97.3 highest, then DD+ER, er+ER, con+ER lowest")
+	return rep, nil
+}
+
+// Fig5b regenerates Figure 5(b): wall clock time per tuple per method.
+func Fig5b(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig5b",
+		Title:   "wall clock time per tuple (sec) per method",
+		Columns: methodNames,
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for _, m := range methodNames {
+			out, err := execute(pp, p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[m] = out.perTupleSec
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: TER-iDS fastest; Ij+GER 2nd; con+ER 3rd; DD+ER slowest (3-4 orders over TER-iDS); EBooks the costliest dataset")
+	return rep, nil
+}
+
+// Fig6 regenerates Figure 6: TER-iDS per-phase cost breakdown.
+func Fig6(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6",
+		Title:   "TER-iDS break-up cost per tuple (sec)",
+		Columns: []string{"select", "impute", "er"},
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		out, err := execute(pp, p, "TER-iDS")
+		if err != nil {
+			return nil, err
+		}
+		n := float64(min(p.MaxStream, len(pp.data.Stream)))
+		if p.MaxStream == 0 {
+			n = float64(len(pp.data.Stream))
+		}
+		rep.Rows = append(rep.Rows, Row{Label: prof.Name, Values: map[string]float64{
+			"select": out.breakdown.Select.Seconds() / n,
+			"impute": out.breakdown.Impute.Seconds() / n,
+			"er":     out.breakdown.ER.Seconds() / n,
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: ER dominates except on Songs (large repository shifts cost to CDD selection + imputation)")
+	return rep, nil
+}
+
+// sweep runs a one-parameter sweep for the efficiency figures.
+func sweep(p Params, id, title, param string, values []float64, methods []string,
+	apply func(*Params, float64), measure func(runOutcome) float64) (*Report, error) {
+	rep := &Report{ID: id, Title: title, Columns: methods}
+	for _, prof := range p.datasets() {
+		for _, v := range values {
+			pv := p
+			apply(&pv, v)
+			pp, err := prepare(prof, pv)
+			if err != nil {
+				return nil, err
+			}
+			row := Row{
+				Label:  fmt.Sprintf("%s %s=%v", prof.Name, param, v),
+				Values: map[string]float64{},
+			}
+			for _, m := range methods {
+				out, err := execute(pp, pv, m)
+				if err != nil {
+					return nil, err
+				}
+				row.Values[m] = measure(out)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func timeMeasure(o runOutcome) float64 { return o.perTupleSec }
+func f1Measure(o runOutcome) float64   { return o.f1 }
+
+// Fig7 regenerates Figure 7: efficiency vs probabilistic threshold α.
+func Fig7(p Params) (*Report, error) {
+	return sweep(p, "fig7", "time per tuple (sec) vs alpha", "alpha",
+		[]float64{0.1, 0.2, 0.5, 0.8, 0.9}, methodNames,
+		func(pv *Params, v float64) { pv.Alpha = v }, timeMeasure)
+}
+
+// Fig8 regenerates Figure 8: efficiency vs similarity ratio ρ = γ/d.
+func Fig8(p Params) (*Report, error) {
+	return sweep(p, "fig8", "time per tuple (sec) vs rho", "rho",
+		[]float64{0.3, 0.4, 0.5, 0.6, 0.7}, methodNames,
+		func(pv *Params, v float64) { pv.Rho = v }, timeMeasure)
+}
+
+// Fig9 regenerates Figure 9: efficiency vs missing rate ξ.
+func Fig9(p Params) (*Report, error) {
+	return sweep(p, "fig9", "time per tuple (sec) vs xi", "xi",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.8}, methodNames,
+		func(pv *Params, v float64) { pv.Xi = v }, timeMeasure)
+}
+
+// Fig10 regenerates Figure 10: efficiency vs window size w.
+func Fig10(p Params) (*Report, error) {
+	// Paper sweeps 500..3000 at full scale; the harness scales by W/1000.
+	return sweep(p, "fig10", "time per tuple (sec) vs w", "w",
+		[]float64{0.5, 0.8, 1.0, 2.0, 3.0}, methodNames,
+		func(pv *Params, v float64) { pv.W = int(v * float64(p.W)) }, timeMeasure)
+}
+
+// Fig11a regenerates Figure 11(a): pivot-selection cost vs η.
+func Fig11a(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig11a",
+		Title:   "pivot selection cost (sec) vs eta",
+		Columns: []string{"0.1", "0.2", "0.3", "0.4", "0.5"},
+	}
+	for _, prof := range p.datasets() {
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for _, eta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+			opt := dataset.Options{
+				Scale: p.Scale, MissingRate: p.Xi, MissingAttrs: p.M,
+				RepoRatio: eta, Seed: p.Seed,
+			}
+			d, err := dataset.Generate(prof, opt)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := pivot.Select(d.Repo, pivot.Defaults()); err != nil {
+				return nil, err
+			}
+			row.Values[fmt.Sprintf("%.1f", eta)] = time.Since(start).Seconds()
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper: cost grows with repository size (Fig 11a)")
+	return rep, nil
+}
+
+// Fig11b regenerates Figure 11(b): pivot-selection cost vs cntMax.
+func Fig11b(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig11b",
+		Title:   "pivot selection cost (sec) vs cntMax",
+		Columns: []string{"1", "2", "3", "4", "5"},
+	}
+	for _, prof := range p.datasets() {
+		opt := dataset.Options{
+			Scale: p.Scale, MissingRate: p.Xi, MissingAttrs: p.M,
+			RepoRatio: p.Eta, Seed: p.Seed,
+		}
+		d, err := dataset.Generate(prof, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for cnt := 1; cnt <= 5; cnt++ {
+			cfg := pivot.Defaults()
+			cfg.CntMax = cnt
+			cfg.MinEntropy = 99 // force the full cntMax budget, as Fig 11b sweeps it
+			start := time.Now()
+			if _, err := pivot.Select(d.Repo, cfg); err != nil {
+				return nil, err
+			}
+			row.Values[fmt.Sprintf("%d", cnt)] = time.Since(start).Seconds()
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper: cost rises smoothly with cntMax, flattening once eMin is reached")
+	return rep, nil
+}
+
+// Fig12 regenerates Figure 12: offline CDD detection cost per dataset.
+func Fig12(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "fig12",
+		Title:   "offline CDD detection cost (sec)",
+		Columns: []string{"seconds", "rules"},
+	}
+	for _, prof := range p.datasets() {
+		opt := dataset.Options{
+			Scale: p.Scale, MissingRate: p.Xi, MissingAttrs: p.M,
+			RepoRatio: p.Eta, Seed: p.Seed,
+		}
+		d, err := dataset.Generate(prof, opt)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		set := rules.Detect(d.Repo, rules.DefaultDetectConfig())
+		rep.Rows = append(rep.Rows, Row{Label: prof.Name, Values: map[string]float64{
+			"seconds": time.Since(start).Seconds(),
+			"rules":   float64(set.Len()),
+		}})
+	}
+	rep.Notes = append(rep.Notes, "paper: larger repositories and longer token sets cost more (Songs, EBooks)")
+	return rep, nil
+}
+
+// Fig13 regenerates Figure 13: F-score vs missing rate ξ.
+func Fig13(p Params) (*Report, error) {
+	return sweep(p, "fig13", "F-score (%) vs xi", "xi",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.8}, accuracyMethods,
+		func(pv *Params, v float64) { pv.Xi = v }, f1Measure)
+}
+
+// Fig14 regenerates Figure 14: F-score vs repository ratio η.
+func Fig14(p Params) (*Report, error) {
+	return sweep(p, "fig14", "F-score (%) vs eta", "eta",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5}, accuracyMethods,
+		func(pv *Params, v float64) { pv.Eta = v }, f1Measure)
+}
+
+// Fig15 regenerates Figure 15: F-score vs number of missing attributes m.
+func Fig15(p Params) (*Report, error) {
+	return sweep(p, "fig15", "F-score (%) vs m", "m",
+		[]float64{1, 2, 3}, accuracyMethods,
+		func(pv *Params, v float64) { pv.M = int(v) }, f1Measure)
+}
+
+// Fig16 regenerates Figure 16: efficiency vs repository ratio η.
+func Fig16(p Params) (*Report, error) {
+	return sweep(p, "fig16", "time per tuple (sec) vs eta", "eta",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5}, methodNames,
+		func(pv *Params, v float64) { pv.Eta = v }, timeMeasure)
+}
+
+// Fig17 regenerates Figure 17: efficiency vs number of missing attributes.
+func Fig17(p Params) (*Report, error) {
+	return sweep(p, "fig17", "time per tuple (sec) vs m", "m",
+		[]float64{1, 2, 3}, methodNames,
+		func(pv *Params, v float64) { pv.M = int(v) }, timeMeasure)
+}
+
+// Table4 regenerates Table 4: dataset statistics.
+func Table4(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "table4",
+		Title:   "dataset statistics (scaled synthetic stand-ins)",
+		Columns: []string{"sourceA", "sourceB", "repo", "incomplete", "matches"},
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		gamma := p.Rho * float64(pp.data.Schema.D())
+		st := pp.data.ComputeStats(p.W, gamma)
+		rep.Rows = append(rep.Rows, Row{Label: prof.Name, Values: map[string]float64{
+			"sourceA": float64(st.SourceA), "sourceB": float64(st.SourceB),
+			"repo": float64(st.RepoSize), "incomplete": float64(st.Incomplete),
+			"matches": float64(st.TruthMatches),
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper (full scale): Citations 2614/2294/2224, Anime 4000/4000/10704, Bikes 4786/9003/13815, EBooks 6500/14112/16719, Songs 1M/1M/1.29M")
+	return rep, nil
+}
+
+// Table5 regenerates Table 5: the parameter grid with defaults.
+func Table5(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "table5",
+		Title:   "parameter settings (defaults in use)",
+		Columns: []string{"default"},
+	}
+	rows := []struct {
+		name string
+		v    float64
+	}{
+		{"alpha (0.1,0.2,0.5,0.8,0.9)", p.Alpha},
+		{"rho (0.3..0.7)", p.Rho},
+		{"xi (0.1..0.8)", p.Xi},
+		{"w (500..3000, scaled)", float64(p.W)},
+		{"eta (0.1..0.5)", p.Eta},
+		{"m (1,2,3)", float64(p.M)},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, Row{Label: r.name, Values: map[string]float64{"default": r.v}})
+	}
+	return rep, nil
+}
+
+// AblationPruning measures TER-iDS with each pruning strategy disabled.
+func AblationPruning(p Params) (*Report, error) {
+	variants := []struct {
+		name string
+		ab   core.AblateConfig
+	}{
+		{"all-pruning", core.AblateConfig{}},
+		{"no-topic", core.AblateConfig{Topic: true}},
+		{"no-simUB", core.AblateConfig{Sim: true}},
+		{"no-probUB", core.AblateConfig{Prob: true}},
+		{"no-instPair", core.AblateConfig{InstPair: true}},
+		{"no-pruning", core.AblateConfig{Topic: true, Sim: true, Prob: true, InstPair: true}},
+	}
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.name
+	}
+	rep := &Report{
+		ID:      "ablation-pruning",
+		Title:   "TER-iDS time per tuple (sec) with pruning strategies disabled",
+		Columns: cols,
+	}
+	for _, prof := range p.datasets() {
+		pp, err := prepare(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for _, v := range variants {
+			cfg := pp.config(p)
+			cfg.Ablate = v.ab
+			proc, err := core.NewProcessor(pp.sh, cfg)
+			if err != nil {
+				return nil, err
+			}
+			stream := pp.data.Stream
+			if p.MaxStream > 0 && len(stream) > p.MaxStream {
+				stream = stream[:p.MaxStream]
+			}
+			start := time.Now()
+			for _, r := range stream {
+				if _, err := proc.Advance(r); err != nil {
+					return nil, err
+				}
+			}
+			row.Values[v.name] = time.Since(start).Seconds() / float64(len(stream))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "results are identical across variants; only cost moves")
+	return rep, nil
+}
+
+// AblationPivot compares entropy-selected pivots with naive first-value
+// pivots (the design choice of Section 5.4).
+func AblationPivot(p Params) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-pivot",
+		Title:   "TER-iDS time per tuple (sec): entropy pivots vs first-value pivots",
+		Columns: []string{"entropy", "naive"},
+	}
+	for _, prof := range p.datasets() {
+		row := Row{Label: prof.Name, Values: map[string]float64{}}
+		for _, mode := range []string{"entropy", "naive"} {
+			pp, err := prepare(prof, p)
+			if err != nil {
+				return nil, err
+			}
+			if mode == "naive" {
+				// Degenerate pivots: the first domain value per attribute,
+				// with all pivot-dependent state rebuilt against them.
+				naive := &pivot.Selection{PerAttr: make([]pivot.AttrPivots, pp.data.Schema.D())}
+				for x := 0; x < pp.data.Schema.D(); x++ {
+					v := pp.data.Repo.Domain(x).Value(0)
+					naive.PerAttr[x] = pivot.AttrPivots{
+						Attr: x, Texts: []string{v.Text}, Toks: []tokens.Set{v.Toks},
+					}
+				}
+				cfg := core.DefaultPrepareConfig(pp.data.Keywords)
+				cfg.Selection = naive
+				sh, err := core.Prepare(pp.data.Repo, cfg)
+				if err != nil {
+					return nil, err
+				}
+				pp.sh = sh
+			}
+			out, err := execute(pp, p, "TER-iDS")
+			if err != nil {
+				return nil, err
+			}
+			row.Values[mode] = out.perTupleSec
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one table/figure.
+type Runner func(Params) (*Report, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig4":             Fig4,
+	"fig5a":            Fig5a,
+	"fig5b":            Fig5b,
+	"fig6":             Fig6,
+	"fig7":             Fig7,
+	"fig8":             Fig8,
+	"fig9":             Fig9,
+	"fig10":            Fig10,
+	"fig11a":           Fig11a,
+	"fig11b":           Fig11b,
+	"fig12":            Fig12,
+	"fig13":            Fig13,
+	"fig14":            Fig14,
+	"fig15":            Fig15,
+	"fig16":            Fig16,
+	"fig17":            Fig17,
+	"table4":           Table4,
+	"table5":           Table5,
+	"ablation-pruning": AblationPruning,
+	"ablation-pivot":   AblationPivot,
+}
+
+// IDs lists available experiments in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment by id.
+func Run(id string, p Params) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(p)
+}

@@ -1,0 +1,271 @@
+// Package grid implements the ER-grid data synopsis of Section 5.2: a
+// sparse d-dimensional grid over the converted space [0,1]^d (main-pivot
+// Jaccard distances). An imputed tuple occupies the box of its per-attribute
+// distance intervals and is stored in every cell that box intersects. Cells
+// carry the aggregates of Section 5.2 (keyword vector, per-pivot distance
+// intervals, token-size intervals) enabling cell-level pruning before
+// tuple-level pruning.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"terids/internal/agg"
+	"terids/internal/prune"
+	"terids/internal/tuple"
+)
+
+// Entry is one tuple resident in the grid.
+type Entry struct {
+	Rec  *tuple.Record
+	Prof *prune.Profile
+	// sum caches Prof.Summary at the grid's pivot width; computed on
+	// first insert and reused when cell aggregates are rebuilt.
+	sum *agg.Summary
+	// ord is the grid-assigned insertion ordinal: a cheap deterministic
+	// identity for dedup and ordering in hot paths.
+	ord int64
+}
+
+// Ord returns the entry's insertion ordinal (0 before insertion).
+func (e *Entry) Ord() int64 { return e.ord }
+
+type cell struct {
+	key     string
+	entries []*Entry
+	summary *agg.Summary
+}
+
+func (c *cell) remove(rid string) {
+	for i, e := range c.entries {
+		if e.Rec.RID == rid {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Grid is the ER-grid G_ER. It is not safe for concurrent use.
+type Grid struct {
+	d    int // attributes (grid dimensionality)
+	n    int // cells per dimension
+	nPiv int // pivot slots in summaries
+	nKW  int // keyword vector width
+	h    float64
+
+	cells   map[string]*cell
+	byRID   map[string][]string // rid -> keys of cells holding it
+	recs    map[string]*Entry   // rid -> entry
+	nextOrd int64
+}
+
+// New creates a grid with cellsPerDim cells along each of the d dimensions.
+func New(d, cellsPerDim, nPiv, nKW int) (*Grid, error) {
+	if d < 1 || cellsPerDim < 1 {
+		return nil, fmt.Errorf("grid: bad geometry d=%d cells=%d", d, cellsPerDim)
+	}
+	if nPiv < 1 {
+		return nil, fmt.Errorf("grid: need at least the main pivot, got %d", nPiv)
+	}
+	return &Grid{
+		d: d, n: cellsPerDim, nPiv: nPiv, nKW: nKW,
+		h:     1 / float64(cellsPerDim),
+		cells: make(map[string]*cell),
+		byRID: make(map[string][]string),
+		recs:  make(map[string]*Entry),
+	}, nil
+}
+
+// Len returns the number of resident tuples.
+func (g *Grid) Len() int { return len(g.recs) }
+
+// CellCount returns the number of materialized (non-empty) cells.
+func (g *Grid) CellCount() int { return len(g.cells) }
+
+// coord clamps v into [0,1] and returns its cell index.
+func (g *Grid) coord(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	i := int(v * float64(g.n))
+	if i >= g.n {
+		i = g.n - 1
+	}
+	return i
+}
+
+func key(idx []int) string {
+	var b strings.Builder
+	for i, v := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// boxCells enumerates the keys of all cells intersecting the box [lo, hi].
+func (g *Grid) boxCells(lo, hi []float64) []string {
+	loIdx := make([]int, g.d)
+	hiIdx := make([]int, g.d)
+	total := 1
+	for x := 0; x < g.d; x++ {
+		loIdx[x] = g.coord(lo[x])
+		hiIdx[x] = g.coord(hi[x])
+		total *= hiIdx[x] - loIdx[x] + 1
+	}
+	keys := make([]string, 0, total)
+	idx := append([]int(nil), loIdx...)
+	for {
+		keys = append(keys, key(idx))
+		x := g.d - 1
+		for x >= 0 {
+			idx[x]++
+			if idx[x] <= hiIdx[x] {
+				break
+			}
+			idx[x] = loIdx[x]
+			x--
+		}
+		if x < 0 {
+			break
+		}
+	}
+	return keys
+}
+
+// Insert adds an entry to every cell its main-pivot box intersects and
+// updates cell aggregates. Inserting an RID already present is an error
+// (evict first).
+func (g *Grid) Insert(e *Entry) error {
+	rid := e.Rec.RID
+	if _, dup := g.recs[rid]; dup {
+		return fmt.Errorf("grid: duplicate insert of %s", rid)
+	}
+	lo, hi := e.Prof.MainBox()
+	if len(lo) != g.d {
+		return fmt.Errorf("grid: entry dimensionality %d, grid %d", len(lo), g.d)
+	}
+	keys := g.boxCells(lo, hi)
+	if e.sum == nil {
+		e.sum = e.Prof.Summary(g.nPiv)
+	}
+	g.nextOrd++
+	e.ord = g.nextOrd
+	sum := e.sum
+	for _, k := range keys {
+		c, ok := g.cells[k]
+		if !ok {
+			c = &cell{
+				key:     k,
+				summary: agg.NewSummary(g.d, g.nPiv, g.nKW),
+			}
+			g.cells[k] = c
+		}
+		c.entries = append(c.entries, e)
+		c.summary.Merge(sum)
+	}
+	g.byRID[rid] = keys
+	g.recs[rid] = e
+	return nil
+}
+
+// Remove evicts a tuple (window expiry) and rebuilds the aggregates of the
+// cells that held it. It reports whether the RID was present.
+func (g *Grid) Remove(rid string) bool {
+	keys, ok := g.byRID[rid]
+	if !ok {
+		return false
+	}
+	for _, k := range keys {
+		c := g.cells[k]
+		c.remove(rid)
+		if len(c.entries) == 0 {
+			delete(g.cells, k)
+			continue
+		}
+		// Recompute the cell aggregate from the survivors' cached
+		// summaries.
+		c.summary = agg.NewSummary(g.d, g.nPiv, g.nKW)
+		for _, e := range c.entries {
+			c.summary.Merge(e.sum)
+		}
+	}
+	delete(g.byRID, rid)
+	delete(g.recs, rid)
+	return true
+}
+
+// Get returns the resident entry for rid, if any.
+func (g *Grid) Get(rid string) (*Entry, bool) {
+	e, ok := g.recs[rid]
+	return e, ok
+}
+
+// Each visits every resident entry once.
+func (g *Grid) Each(visit func(*Entry) bool) {
+	for _, e := range g.recs {
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// CandidateStats reports how much work a Candidates call did.
+type CandidateStats struct {
+	CellsVisited int
+	CellsPruned  int
+	Emitted      int
+}
+
+// Query parameterizes a Candidates call. The Disable flags turn off
+// cell-level pruning strategies for ablation studies (results are
+// unchanged — pruning is safe — only cost moves).
+type Query struct {
+	Gamma        float64
+	DisableTopic bool
+	DisableSim   bool
+}
+
+// Candidates streams the entries that survive cell-level pruning against
+// query profile q (Theorem 4.1 at cell granularity via keyword aggregates,
+// Theorem 4.2 via distance/size aggregates). Entries from other streams
+// only (stream != q's stream) are emitted, deduplicated. Tuple-level
+// pruning is the caller's job.
+func (g *Grid) Candidates(q *prune.Profile, opt Query, visit func(*Entry) bool) CandidateStats {
+	var stats CandidateStats
+	qStream := q.Im.R.Stream
+	seen := make(map[int64]struct{})
+	for _, c := range g.cells {
+		stats.CellsVisited++
+		// Cell-level topic pruning: if the query tuple can never carry a
+		// keyword, only cells that may contain one can form result pairs.
+		if !opt.DisableTopic && !q.MayKW && !c.summary.KW.Any() {
+			stats.CellsPruned++
+			continue
+		}
+		// Cell-level similarity upper bound over the cell aggregate.
+		cb := prune.Bounds{Dist: c.summary.Dist, Size: c.summary.Size}
+		if !opt.DisableSim && prune.SimPrune(q.Bounds, cb, opt.Gamma) {
+			stats.CellsPruned++
+			continue
+		}
+		for _, e := range c.entries {
+			if e.Rec.Stream == qStream {
+				continue
+			}
+			if _, dup := seen[e.ord]; dup {
+				continue
+			}
+			seen[e.ord] = struct{}{}
+			stats.Emitted++
+			if !visit(e) {
+				return stats
+			}
+		}
+	}
+	return stats
+}

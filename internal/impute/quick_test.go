@@ -1,0 +1,97 @@
+package impute
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"terids/internal/repository"
+	"terids/internal/rules"
+	"terids/internal/tuple"
+)
+
+// TestQuickImputationDistributionsNormalized randomizes repositories, rules
+// and incomplete tuples, and asserts the core distribution invariants: all
+// probabilities positive, summing to 1, candidate counts respecting the
+// cap, and determinism.
+func TestQuickImputationDistributionsNormalized(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	randVal := func(width int) string {
+		out := ""
+		for i := 0; i <= r.Intn(width); i++ {
+			out += fmt.Sprintf("w%d ", r.Intn(12))
+		}
+		return out
+	}
+	for trial := 0; trial < 60; trial++ {
+		var samples []*tuple.Record
+		n := 5 + r.Intn(25)
+		for i := 0; i < n; i++ {
+			samples = append(samples, tuple.MustRecord(schema, fmt.Sprintf("s%d", i), 0, 0,
+				[]string{randVal(2), randVal(4), randVal(3)}))
+		}
+		repo, err := repository.Build(schema, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := rules.DefaultDetectConfig()
+		cfg.MinSupport = 2
+		set := rules.Detect(repo, cfg)
+		cap := 1 + r.Intn(6)
+		ri := NewRuleImputer("CDD", repo, set, Config{MaxCandidates: cap})
+		q := tuple.MustRecord(schema, "q", 0, 0, []string{randVal(2), randVal(4), "-"})
+		im1 := ri.Impute(q)
+		im2 := ri.Impute(q)
+		for j, d := range im1.Dists {
+			if len(d.Cands) == 0 {
+				t.Fatalf("trial %d attr %d: empty distribution", trial, j)
+			}
+			if q.IsMissing(j) && len(d.Cands) > cap {
+				t.Fatalf("trial %d attr %d: %d candidates exceed cap %d", trial, j, len(d.Cands), cap)
+			}
+			total := 0.0
+			for _, c := range d.Cands {
+				if c.P < 0 {
+					t.Fatalf("trial %d: negative probability %v", trial, c.P)
+				}
+				total += c.P
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Fatalf("trial %d attr %d: probabilities sum to %v", trial, j, total)
+			}
+			// Determinism.
+			if fmt.Sprint(d) != fmt.Sprint(im2.Dists[j]) {
+				t.Fatalf("trial %d attr %d: non-deterministic imputation", trial, j)
+			}
+		}
+		if mass := im1.TotalMass(); math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("trial %d: total mass %v", trial, mass)
+		}
+	}
+}
+
+// TestQuickAccumulatorCacheConsistency verifies the memoized candidate sets
+// equal fresh computations.
+func TestQuickAccumulatorCacheConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	repo := repoFixture(t)
+	dom := repo.Domain(2)
+	for trial := 0; trial < 200; trial++ {
+		acc := NewAccumulator(dom, nil)
+		vi := r.Intn(dom.Len())
+		lo := r.Float64() * 0.5
+		hi := lo + r.Float64()*0.5
+		acc.AddSample(vi, lo, hi)
+		acc.AddSample(vi, lo, hi) // cached path
+		want := dom.RangeByDistance(dom.Value(vi).Toks, lo, hi)
+		if len(acc.freq) != len(want) {
+			t.Fatalf("trial %d: freq over %d values, want %d", trial, len(acc.freq), len(want))
+		}
+		for _, w := range want {
+			if acc.freq[w] != 2 {
+				t.Fatalf("trial %d: value %d counted %v times, want 2", trial, w, acc.freq[w])
+			}
+		}
+	}
+}

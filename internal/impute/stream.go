@@ -1,0 +1,118 @@
+package impute
+
+import (
+	"sort"
+
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+// WindowFunc returns the live tuples the stream imputer may borrow values
+// from (typically the current sliding-window contents), oldest first.
+type WindowFunc func() []*tuple.Record
+
+// StreamImputer is the constraint-based imputation of the con+ER baseline
+// (Zhang et al. [43] adapted to textual streams): a missing attribute is
+// filled from the temporally nearest complete tuples of the stream itself —
+// the paper notes con+ER "imputes each incomplete tuple based on its near
+// complete tuple from iDS (instead of accessing data repository R)". A
+// value constraint (bounded distance on the shared attributes) filters
+// wildly dissimilar donors, mirroring the speed constraints of [43]. It is
+// fast — no repository access, donor count independent of m — but ignores
+// the semantic association CDD rules capture, so the paper measures it as
+// the least accurate imputer.
+type StreamImputer struct {
+	window WindowFunc
+	cfg    Config
+	// TopK is the number of most recent donors considered per missing
+	// attribute (default 3).
+	TopK int
+	// MaxAvgDist is the value constraint: donors whose average Jaccard
+	// distance on shared attributes exceeds it are rejected (default 0.9).
+	MaxAvgDist float64
+}
+
+// NewStreamImputer builds the con imputer over the given window view.
+func NewStreamImputer(window WindowFunc, cfg Config) *StreamImputer {
+	return &StreamImputer{window: window, cfg: cfg, TopK: 3, MaxAvgDist: 0.9}
+}
+
+// Name implements Imputer.
+func (si *StreamImputer) Name() string { return "con" }
+
+// Impute implements Imputer.
+func (si *StreamImputer) Impute(r *tuple.Record) *tuple.Imputed {
+	if r.IsComplete() {
+		return tuple.FromComplete(r)
+	}
+	im := &tuple.Imputed{R: r, Dists: make([]tuple.AttrDist, r.D())}
+	for j := 0; j < r.D(); j++ {
+		if !r.IsMissing(j) {
+			im.Dists[j] = tuple.Point(r.Value(j), r.Tokens(j))
+			continue
+		}
+		im.Dists[j] = si.imputeAttr(r, j)
+	}
+	return im
+}
+
+// imputeAttr fills attribute j of r from the TopK most recent window tuples
+// carrying j that pass the value constraint; earlier (staler) donors weigh
+// less.
+func (si *StreamImputer) imputeAttr(r *tuple.Record, j int) tuple.AttrDist {
+	win := si.window()
+	k := si.TopK
+	if k <= 0 {
+		k = 3
+	}
+	type donor struct {
+		rec    *tuple.Record
+		weight float64
+	}
+	var donors []donor
+	// Scan newest-first.
+	for i := len(win) - 1; i >= 0 && len(donors) < k; i-- {
+		w := win[i]
+		if w.RID == r.RID || w.IsMissing(j) {
+			continue
+		}
+		// Value constraint on shared attributes (the speed-constraint
+		// analog): reject donors too far from r on what both carry.
+		shared, dist := 0, 0.0
+		for x := 0; x < r.D(); x++ {
+			if x == j || r.IsMissing(x) || w.IsMissing(x) {
+				continue
+			}
+			shared++
+			dist += tokens.JaccardDistance(r.Tokens(x), w.Tokens(x))
+		}
+		if shared > 0 && dist/float64(shared) > si.MaxAvgDist {
+			continue
+		}
+		// Recency weight: the most recent donor dominates.
+		donors = append(donors, donor{w, 1 / float64(len(donors)+1)})
+	}
+	if len(donors) == 0 {
+		return FailedCandidate()
+	}
+	// Merge duplicate donor values.
+	weightOf := map[string]float64{}
+	toksOf := map[string]tokens.Set{}
+	var order []string
+	for _, d := range donors {
+		text := d.rec.Value(j)
+		if _, seen := weightOf[text]; !seen {
+			order = append(order, text)
+			toksOf[text] = d.rec.Tokens(j)
+		}
+		weightOf[text] += d.weight
+	}
+	sort.Strings(order)
+	dist := tuple.AttrDist{Cands: make([]tuple.Candidate, 0, len(order))}
+	for _, text := range order {
+		dist.Cands = append(dist.Cands, tuple.Candidate{Text: text, Toks: toksOf[text], P: weightOf[text]})
+	}
+	dist.Normalize()
+	dist.Truncate(si.cfg.MaxCandidates)
+	return dist
+}

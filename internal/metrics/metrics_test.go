@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestKeyNormalizes(t *testing.T) {
+	if Key("b", "a") != Key("a", "b") {
+		t.Fatal("Key must normalize order")
+	}
+	if Key("a", "b") == Key("a", "c") {
+		t.Fatal("distinct pairs must differ")
+	}
+}
+
+func TestCompareAndScores(t *testing.T) {
+	truth := map[PairKey]bool{
+		Key("a", "b"): true,
+		Key("c", "d"): true,
+		Key("e", "f"): true,
+		Key("g", "h"): true,
+	}
+	returned := map[PairKey]bool{
+		Key("b", "a"): true, // TP (order-normalized)
+		Key("c", "d"): true, // TP
+		Key("x", "y"): true, // FP
+	}
+	c := Compare(returned, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 2 {
+		t.Fatalf("Confusion = %+v", c)
+	}
+	if got, want := c.Precision(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Precision = %v, want %v", got, want)
+	}
+	if got, want := c.Recall(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Recall = %v, want %v", got, want)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / ((2.0 / 3.0) + 0.5)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestScoresDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must score 0 without NaN")
+	}
+	onlyFN := Confusion{FN: 5}
+	if onlyFN.F1() != 0 {
+		t.Fatal("no TP must give F1 0")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Select: time.Millisecond, Impute: 2 * time.Millisecond, ER: 3 * time.Millisecond}
+	if b.Total() != 6*time.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	b.Add(Breakdown{Select: time.Millisecond})
+	if b.Select != 2*time.Millisecond {
+		t.Fatalf("Add failed: %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	sw.Start()
+	time.Sleep(time.Millisecond)
+	d1 := sw.Lap()
+	if d1 <= 0 {
+		t.Fatal("Lap must measure positive time")
+	}
+	d2 := sw.Lap()
+	if d2 < 0 || d2 > d1+time.Second {
+		t.Fatalf("second lap unreasonable: %v", d2)
+	}
+}
+
+func TestPruneStats(t *testing.T) {
+	s := PruneStats{Considered: 200, Topic: 160, SimUB: 20, ProbUB: 10, InstPair: 6, Refined: 4}
+	topic, simUB, probUB, instPair, total := s.Power()
+	if topic != 80 || simUB != 10 || probUB != 5 || instPair != 3 {
+		t.Fatalf("Power = %v %v %v %v", topic, simUB, probUB, instPair)
+	}
+	if total != 98 {
+		t.Fatalf("total = %v, want 98", total)
+	}
+	var z PruneStats
+	if _, _, _, _, tot := z.Power(); tot != 0 {
+		t.Fatal("zero considered must not divide by zero")
+	}
+	z.Add(s)
+	if z.Considered != 200 || z.Refined != 4 {
+		t.Fatalf("Add failed: %+v", z)
+	}
+}

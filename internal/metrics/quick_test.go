@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickKeyNormalization(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Key(a, b) == Key(b, a)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	ordered := func(a, b string) bool {
+		k := Key(a, b)
+		return k.A <= k.B
+	}
+	if err := quick.Check(ordered, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConfusionScoresBounded(t *testing.T) {
+	bounded := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		p, r, f := c.Precision(), c.Recall(), c.F1()
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1 && f >= 0 && f <= 1 &&
+			f <= p+1e-12+1 && // trivially true; guards NaN
+			!(f != f) // NaN check
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickF1BetweenPrecisionAndRecall(t *testing.T) {
+	between := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		p, r, f := c.Precision(), c.Recall(), c.F1()
+		lo, hi := p, r
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Harmonic mean lies between min and max (or all are zero).
+		return (f >= lo-1e-12 && f <= hi+1e-12) || (p == 0 && r == 0 && f == 0) ||
+			(p+r == 0 && f == 0)
+	}
+	if err := quick.Check(between, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

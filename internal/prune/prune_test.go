@@ -1,0 +1,306 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"terids/internal/agg"
+	"terids/internal/pivot"
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+var schema = tuple.MustSchema("A", "B")
+
+// sel2 builds a fixed two-attribute pivot selection for tests.
+func sel2() *pivot.Selection {
+	return &pivot.Selection{PerAttr: []pivot.AttrPivots{
+		{Attr: 0, Texts: []string{"p q"}, Toks: []tokens.Set{tokens.New("p", "q")}},
+		{Attr: 1, Texts: []string{"m n"}, Toks: []tokens.Set{tokens.New("m", "n")}},
+	}}
+}
+
+func completeProfile(t *testing.T, rid, a, b string, keywords tokens.Set) *Profile {
+	t.Helper()
+	r := tuple.MustRecord(schema, rid, 0, 0, []string{a, b})
+	return BuildProfile(tuple.FromComplete(r), sel2(), keywords)
+}
+
+// imputedProfile builds a profile with a candidate distribution on
+// attribute 1.
+func imputedProfile(t *testing.T, rid, a string, cands []tuple.Candidate, keywords tokens.Set) *Profile {
+	t.Helper()
+	r := tuple.MustRecord(schema, rid, 0, 0, []string{a, "-"})
+	im := &tuple.Imputed{R: r, Dists: []tuple.AttrDist{
+		tuple.Point(a, tokens.Tokenize(a)),
+		{Cands: cands},
+	}}
+	return BuildProfile(im, sel2(), keywords)
+}
+
+func TestBuildProfileComplete(t *testing.T) {
+	kw := tokens.New("diabetes")
+	p := completeProfile(t, "r1", "p q", "diabetes care", kw)
+	// Attribute 0 equals the pivot: distance interval [0,0], expectation 0.
+	if p.Dist[0][0].Lo != 0 || p.Dist[0][0].Hi != 0 || p.Exp[0][0] != 0 {
+		t.Fatalf("attr 0 pivot distances wrong: %+v exp %v", p.Dist[0][0], p.Exp[0][0])
+	}
+	if p.Size[0].Lo != 2 || p.Size[0].Hi != 2 {
+		t.Fatalf("attr 0 size interval wrong: %+v", p.Size[0])
+	}
+	if !p.MayKW || !p.KW.Get(0) {
+		t.Fatal("keyword flags wrong")
+	}
+	if len(p.Instances) != 1 || !p.Instances[0].HasKeyword {
+		t.Fatal("instances wrong")
+	}
+	lo, hi := p.MainBox()
+	if lo[0] != 0 || hi[0] != 0 {
+		t.Fatalf("MainBox wrong: %v %v", lo, hi)
+	}
+}
+
+func TestBuildProfileImputed(t *testing.T) {
+	kw := tokens.New("flu")
+	p := imputedProfile(t, "r1", "p q", []tuple.Candidate{
+		{Text: "m n", Toks: tokens.New("m", "n"), P: 0.5},        // dist to piv 0
+		{Text: "x y z", Toks: tokens.New("x", "y", "z"), P: 0.5}, // dist 1
+	}, kw)
+	iv := p.Dist[1][0]
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("imputed distance interval = %+v, want [0,1]", iv)
+	}
+	if math.Abs(p.Exp[1][0]-0.5) > 1e-12 {
+		t.Fatalf("expectation = %v, want 0.5", p.Exp[1][0])
+	}
+	if p.Size[1].Lo != 2 || p.Size[1].Hi != 3 {
+		t.Fatalf("size interval = %+v", p.Size[1])
+	}
+	if p.MayKW {
+		t.Fatal("no flu keyword anywhere")
+	}
+	if len(p.Instances) != 2 {
+		t.Fatalf("instances = %d, want 2", len(p.Instances))
+	}
+}
+
+func TestTopicPrune(t *testing.T) {
+	kw := tokens.New("diabetes")
+	with := completeProfile(t, "a", "diabetes", "x", kw)
+	without := completeProfile(t, "b", "flu", "x", kw)
+	without2 := completeProfile(t, "c", "cold", "y", kw)
+	if TopicPrune(with, without) {
+		t.Fatal("pair with one keyword side must survive")
+	}
+	if !TopicPrune(without, without2) {
+		t.Fatal("pair with no keywords must be pruned")
+	}
+}
+
+func TestSimUpperBoundExample5(t *testing.T) {
+	// Reconstruct Example 5's size-driven bound on a 3-attribute schema.
+	s3 := tuple.MustSchema("A", "B", "C")
+	sel := &pivot.Selection{PerAttr: []pivot.AttrPivots{
+		{Attr: 0, Texts: []string{"zz"}, Toks: []tokens.Set{tokens.New("zz")}},
+		{Attr: 1, Texts: []string{"zz"}, Toks: []tokens.Set{tokens.New("zz")}},
+		{Attr: 2, Texts: []string{"zz"}, Toks: []tokens.Set{tokens.New("zz")}},
+	}}
+	mkToks := func(n int, prefix string) tokens.Set {
+		var ts []string
+		for i := 0; i < n; i++ {
+			ts = append(ts, fmt.Sprintf("%s%d", prefix, i))
+		}
+		return tokens.New(ts...)
+	}
+	mk := func(rid string, na, nb int, ncLo, ncHi int, prefix string) *Profile {
+		r := tuple.MustRecord(s3, rid, 0, 0, []string{"x", "y", "-"})
+		im := &tuple.Imputed{R: r, Dists: []tuple.AttrDist{
+			tuple.Point("a", mkToks(na, prefix+"a")),
+			tuple.Point("b", mkToks(nb, prefix+"b")),
+			{Cands: []tuple.Candidate{
+				{Toks: mkToks(ncLo, prefix+"c"), P: 0.5},
+				{Toks: mkToks(ncHi, prefix+"c"), P: 0.5},
+			}},
+		}}
+		return BuildProfile(im, sel, nil)
+	}
+	r1 := mk("r1", 10, 7, 5, 7, "u")
+	r2 := mk("r2", 8, 10, 10, 12, "v")
+	// Example 5: 8/10 + 7/10 + 7/10 = 2.2. Token sets are disjoint, so the
+	// pivot bound cannot beat the size bound here (pivot distances all 1).
+	if got := SimUpperBound(r1.Bounds, r2.Bounds); math.Abs(got-2.2) > 1e-9 {
+		t.Fatalf("SimUpperBound = %v, want 2.2", got)
+	}
+	if !SimPrune(r1.Bounds, r2.Bounds, 2.2) {
+		t.Fatal("pair must prune at gamma = 2.2")
+	}
+	if SimPrune(r1.Bounds, r2.Bounds, 2.1) {
+		t.Fatal("pair must survive at gamma = 2.1")
+	}
+}
+
+func randomImputed(r *rand.Rand, rid string, stream int) *tuple.Imputed {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	randToks := func() tokens.Set {
+		n := 1 + r.Intn(4)
+		var ts []string
+		for i := 0; i < n; i++ {
+			ts = append(ts, vocab[r.Intn(len(vocab))])
+		}
+		return tokens.New(ts...)
+	}
+	rec := tuple.MustRecord(schema, rid, stream, 0, []string{"x", "-"})
+	nc := 1 + r.Intn(3)
+	dist := tuple.AttrDist{}
+	for i := 0; i < nc; i++ {
+		toks := randToks()
+		dist.Cands = append(dist.Cands, tuple.Candidate{Text: toks.String(), Toks: toks, P: 1})
+	}
+	dist.Normalize()
+	return &tuple.Imputed{R: rec, Dists: []tuple.AttrDist{
+		tuple.Point("first", randToks()),
+		dist,
+	}}
+}
+
+// TestBoundsSafety is the central safety property: for random imputed
+// pairs, (1) ub_sim dominates every instance-pair similarity, (2) UB_Pr
+// dominates the exact probability, and (3) any pruned pair has exact
+// probability <= alpha.
+func TestBoundsSafety(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	kw := tokens.New("a", "e")
+	sel := sel2()
+	for trial := 0; trial < 3000; trial++ {
+		pa := BuildProfile(randomImputed(r, "ra", 0), sel, kw)
+		pb := BuildProfile(randomImputed(r, "rb", 1), sel, kw)
+		gamma := r.Float64() * 2
+		alpha := r.Float64()
+
+		ub := SimUpperBound(pa.Bounds, pb.Bounds)
+		maxSim := 0.0
+		for _, ia := range pa.Instances {
+			for _, ib := range pb.Instances {
+				if s := ia.Sim(ib); s > maxSim {
+					maxSim = s
+				}
+			}
+		}
+		if maxSim > ub+1e-9 {
+			t.Fatalf("trial %d: ub_sim %v < actual max sim %v", trial, ub, maxSim)
+		}
+
+		exact := ExactProbability(pa, pb, gamma)
+		if pub := ProbUpperBound(pa, pb, gamma); exact > pub+1e-9 {
+			t.Fatalf("trial %d: UB_Pr %v < exact %v (gamma=%v)", trial, pub, exact, gamma)
+		}
+
+		if TopicPrune(pa, pb) && exact > 0 {
+			t.Fatalf("trial %d: topic-pruned pair has probability %v", trial, exact)
+		}
+		if SimPrune(pa.Bounds, pb.Bounds, gamma) && exact > 0 {
+			t.Fatalf("trial %d: sim-pruned pair has probability %v", trial, exact)
+		}
+		if ProbPrune(pa, pb, gamma, alpha) && exact > alpha {
+			t.Fatalf("trial %d: prob-pruned pair has probability %v > alpha %v", trial, exact, alpha)
+		}
+
+		// Refine agrees with the exact decision.
+		res := Refine(pa, pb, gamma, alpha)
+		if res.Match != (exact > alpha+1e-12) && math.Abs(exact-alpha) > 1e-9 {
+			t.Fatalf("trial %d: Refine match %v, exact %v vs alpha %v", trial, res.Match, exact, alpha)
+		}
+	}
+}
+
+func TestRefineEarlyExits(t *testing.T) {
+	kw := tokens.New("k")
+	sel := sel2()
+	// Identical single-instance tuples with a keyword: probability 1.
+	r1 := tuple.MustRecord(schema, "r1", 0, 0, []string{"k x", "y"})
+	r2 := tuple.MustRecord(schema, "r2", 1, 0, []string{"k x", "y"})
+	pa := BuildProfile(tuple.FromComplete(r1), sel, kw)
+	pb := BuildProfile(tuple.FromComplete(r2), sel, kw)
+	res := Refine(pa, pb, 1.5, 0.5)
+	if !res.Match || res.Prob <= 0.5 {
+		t.Fatalf("identical tuples must match: %+v", res)
+	}
+	// Disjoint tuples: first pair check establishes the Theorem 4.4 bound
+	// sum + (1-processed) = 0 <= alpha and prunes immediately.
+	r3 := tuple.MustRecord(schema, "r3", 1, 0, []string{"zz", "ww"})
+	pc := BuildProfile(tuple.FromComplete(r3), sel, kw)
+	res = Refine(pa, pc, 1.5, 0.3)
+	if res.Match {
+		t.Fatal("disjoint tuples must not match")
+	}
+	if !res.PrunedEarly {
+		t.Fatalf("single-instance non-match must trigger Theorem 4.4: %+v", res)
+	}
+	if res.PairsChecked != 1 {
+		t.Fatalf("PairsChecked = %d, want 1", res.PairsChecked)
+	}
+}
+
+func TestRefineInstancePairSavings(t *testing.T) {
+	// Many-instance tuples whose first pairs already push the sum past
+	// alpha: early accept must not check all pairs.
+	kw := tokens.New("k")
+	cands := []tuple.Candidate{}
+	for i := 0; i < 6; i++ {
+		toks := tokens.New("k", "shared")
+		cands = append(cands, tuple.Candidate{Text: "v", Toks: toks, P: 1.0 / 6.0})
+	}
+	pa := imputedProfile(t, "a", "k base", cands, kw)
+	pb := imputedProfile(t, "b", "k base", cands, kw)
+	res := Refine(pa, pb, 1.0, 0.1)
+	if !res.Match {
+		t.Fatal("must match")
+	}
+	if res.PairsChecked >= 36 {
+		t.Fatalf("early accept must save work: checked %d of 36", res.PairsChecked)
+	}
+}
+
+func TestProbUpperBoundExample7(t *testing.T) {
+	// Example 7: d=3, gamma=2.8, E(X)=0.7, E(Y)=1.2, lb_X=0.3, ub_X=1.1,
+	// lb_Y=1.1, ub_Y=1.3 -> UB = 1 - (1 - 0.2/0.5)^2 * 0.5/1.0 = 0.82.
+	// Attribute expectations: r1 = {0.1, 0.1, (0.1+0.5+0.9)/3 = 0.5},
+	// r2 = {0.2, 0.2, (0.7+0.9)/2 = 0.8}.
+	pa := manualProfile([3]float64{0.1, 0.1, 0.5}, [3][2]float64{{0.1, 0.1}, {0.1, 0.1}, {0.1, 0.9}})
+	pb := manualProfile([3]float64{0.2, 0.2, 0.8}, [3][2]float64{{0.2, 0.2}, {0.2, 0.2}, {0.7, 0.9}})
+	got := ProbUpperBound(pa, pb, 2.8)
+	if math.Abs(got-0.82) > 1e-9 {
+		t.Fatalf("Example 7 UB = %v, want 0.82", got)
+	}
+	// The symmetric orientation must give the same bound.
+	if sym := ProbUpperBound(pb, pa, 2.8); math.Abs(sym-got) > 1e-12 {
+		t.Fatalf("UB not symmetric: %v vs %v", sym, got)
+	}
+	// Outside the lemma's conditions the bound degrades to 1: overlapping
+	// ranges (neither lb_X >= ub_Y nor lb_Y >= ub_X).
+	pc := manualProfile([3]float64{0.5, 0.5, 0.5}, [3][2]float64{{0.1, 0.9}, {0.1, 0.9}, {0.1, 0.9}})
+	if ub := ProbUpperBound(pa, pc, 2.8); ub != 1 {
+		t.Fatalf("overlapping ranges must give trivial bound, got %v", ub)
+	}
+}
+
+// manualProfile hand-builds a 3-attribute profile with the given main-pivot
+// expectations and distance intervals (no instances; only aggregate-driven
+// bounds are exercised).
+func manualProfile(exps [3]float64, dists [3][2]float64) *Profile {
+	p := &Profile{
+		Bounds: Bounds{
+			Dist: make([][]agg.Interval, 3),
+			Size: make([]agg.IntInterval, 3),
+		},
+		Exp: make([][]float64, 3),
+	}
+	for x := 0; x < 3; x++ {
+		p.Dist[x] = []agg.Interval{{Lo: dists[x][0], Hi: dists[x][1]}}
+		p.Exp[x] = []float64{exps[x]}
+		p.Size[x] = agg.IntInterval{Lo: 1, Hi: 1}
+	}
+	return p
+}

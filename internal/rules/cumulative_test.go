@@ -1,0 +1,70 @@
+package rules
+
+import "testing"
+
+func TestDetectCumulativeDDs(t *testing.T) {
+	repo := buildCorrelatedRepo(t, 60)
+	cfg := DefaultDetectConfig()
+	cfg.Cumulative = true
+	cfg.DisableCDD = true
+	cfg.DisableEditing = true
+	cfg.MaxDepWidth = 1.0
+	set := Detect(repo, cfg)
+	if set.Len() == 0 {
+		t.Fatal("cumulative mining found no DDs")
+	}
+	for _, r := range set.All() {
+		if r.Kind != KindDD {
+			t.Fatalf("family toggles violated: found %v", r.Kind)
+		}
+		for _, c := range r.Determinants {
+			if c.Kind == Interval && c.Min != 0 {
+				t.Fatalf("cumulative DD must have εmin = 0, got %v", c.Min)
+			}
+		}
+	}
+	// Cumulative intervals must be at least as wide as banded ones for the
+	// same data: compare total dependent width.
+	banded := Detect(repo, DefaultDetectConfig())
+	avgWidth := func(s *Set) float64 {
+		total, n := 0.0, 0
+		for _, r := range s.All() {
+			if r.Kind == KindDD {
+				total += r.DepMax - r.DepMin
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return total / float64(n)
+	}
+	if avgWidth(set) < avgWidth(banded)-1e-9 {
+		t.Errorf("cumulative DDs should be looser on average: %v vs %v",
+			avgWidth(set), avgWidth(banded))
+	}
+}
+
+func TestDetectFamilyToggles(t *testing.T) {
+	repo := buildCorrelatedRepo(t, 60)
+	cfg := DefaultDetectConfig()
+	cfg.DisableDD = true
+	cfg.DisableEditing = true
+	cfg.DisableTwoDet = true
+	set := Detect(repo, cfg)
+	for _, r := range set.All() {
+		if r.Kind != KindCDD {
+			t.Fatalf("only CDDs expected, found %v", r)
+		}
+	}
+	cfg = DefaultDetectConfig()
+	cfg.DisableDD = true
+	cfg.DisableCDD = true
+	cfg.DisableTwoDet = true
+	set = Detect(repo, cfg)
+	for _, r := range set.All() {
+		if r.Kind != KindEditing {
+			t.Fatalf("only editing rules expected, found %v", r)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"terids/internal/repository"
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+// buildCorrelatedRepo makes a repository where attribute 1 (Symptom)
+// determines attribute 2 (Diagnosis) within each Gender group: entities of
+// the same disease share most symptom tokens and the same diagnosis.
+func buildCorrelatedRepo(t *testing.T, n int) *repository.Repository {
+	t.Helper()
+	r := rand.New(rand.NewSource(77))
+	diseases := []struct {
+		symptoms  []string
+		diagnosis string
+	}{
+		{[]string{"thirst", "weight", "loss", "blurred", "vision"}, "diabetes"},
+		{[]string{"fever", "cough", "fatigue", "aches"}, "flu"},
+		{[]string{"red", "eye", "itchy", "tears"}, "conjunctivitis"},
+	}
+	genders := []string{"male", "female"}
+	var recs []*tuple.Record
+	for i := 0; i < n; i++ {
+		d := diseases[i%len(diseases)]
+		// Drop one random symptom token for variety.
+		drop := r.Intn(len(d.symptoms))
+		sym := ""
+		for k, s := range d.symptoms {
+			if k != drop {
+				sym += s + " "
+			}
+		}
+		recs = append(recs, tuple.MustRecord(schema, fmt.Sprintf("s%d", i), 0, 0,
+			[]string{genders[i%2], sym, d.diagnosis}))
+	}
+	repo, err := repository.Build(schema, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestDetectFindsRules(t *testing.T) {
+	repo := buildCorrelatedRepo(t, 60)
+	set := Detect(repo, DefaultDetectConfig())
+	if set.Len() == 0 {
+		t.Fatal("no rules detected on a correlated repository")
+	}
+	// Symptom and Diagnosis are mutually determined within a disease, so
+	// both must gain rules. Gender is independent of the other attributes
+	// in this fixture (dep distance is 0 or 1), so single-determinant
+	// Gender-dependent rules must be rejected as too loose. (Narrow
+	// two-determinant bands can legitimately pin gender on small fixtures,
+	// so only single-determinant rules are asserted on.)
+	for _, j := range []int{1, 2} {
+		if len(set.ForDependent(j)) == 0 {
+			t.Errorf("no rules with dependent attribute %d", j)
+		}
+	}
+	// (Editing rules can still pin Gender through a constant carried by
+	// same-gender samples only, and narrow two-determinant bands can do so
+	// on small fixtures; both are sound with respect to the observed data,
+	// so only single-determinant interval rules are asserted on.)
+	for _, r := range set.ForDependent(0) {
+		if len(r.Determinants) == 1 && r.Determinants[0].Kind == Interval {
+			t.Errorf("found single-interval rule for the undetermined Gender attribute: %v", r)
+		}
+	}
+	// A Symptom -> Diagnosis DD in the closest band must exist and be
+	// tight: same disease pairs share symptoms and identical diagnoses.
+	found := false
+	for _, r := range set.ForDependent(2) {
+		if r.Kind != KindDD || len(r.Determinants) != 1 {
+			continue
+		}
+		c := r.Determinants[0]
+		if c.Attr == 1 && c.Kind == Interval && c.Min == 0 && r.DepMax <= 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a tight band-0 DD Symptom→Diagnosis")
+	}
+	// CDD rules conditioned on Gender constants must exist.
+	cddFound := false
+	for _, r := range set.All() {
+		if r.Kind != KindCDD {
+			continue
+		}
+		for _, c := range r.Determinants {
+			if c.Kind == Const && (c.Value == "male" || c.Value == "female") {
+				cddFound = true
+			}
+		}
+	}
+	if !cddFound {
+		t.Error("expected gender-conditioned CDD rules")
+	}
+}
+
+func TestDetectRuleMultiplicity(t *testing.T) {
+	// The paper reports thousands of CDDs on small repositories; our miner
+	// must likewise produce many rules (bands × pairs × constants).
+	repo := buildCorrelatedRepo(t, 90)
+	set := Detect(repo, DefaultDetectConfig())
+	if set.Len() < 20 {
+		t.Fatalf("only %d rules detected; expected a multiplicity of rules", set.Len())
+	}
+}
+
+func TestDetectEmptyAndTinyRepo(t *testing.T) {
+	repo, err := repository.Build(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := Detect(repo, DefaultDetectConfig()); set.Len() != 0 {
+		t.Fatal("empty repository must yield no rules")
+	}
+	one := tuple.MustRecord(schema, "s0", 0, 0, []string{"male", "fever", "flu"})
+	repo2, err := repository.Build(schema, []*tuple.Record{one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := Detect(repo2, DefaultDetectConfig()); set.Len() != 0 {
+		t.Fatal("single-sample repository must yield no rules")
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	repo := buildCorrelatedRepo(t, 40)
+	cfg := DefaultDetectConfig()
+	a := Detect(repo, cfg)
+	b := Detect(repo, cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("rule counts differ across runs: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.All() {
+		if a.All()[i].String() != b.All()[i].String() {
+			t.Fatalf("rule %d differs: %v vs %v", i, a.All()[i], b.All()[i])
+		}
+	}
+}
+
+func TestDetectedRulesAreSound(t *testing.T) {
+	// Soundness: for every mined rule and every sample pair satisfying its
+	// determinant constraints, the dependent distance must lie within the
+	// mined interval. This holds by construction on the pairs the miner
+	// saw; verify on ALL pairs for unsampled mining.
+	repo := buildCorrelatedRepo(t, 30)
+	cfg := DefaultDetectConfig()
+	cfg.PairSample = 0 // examine all pairs
+	set := Detect(repo, cfg)
+	samples := repo.Samples()
+	for _, r := range set.All() {
+		if r.Kind == KindEditing {
+			continue // editing rules assert near-equality, tested below
+		}
+		for i := 0; i < len(samples); i++ {
+			for k := i + 1; k < len(samples); k++ {
+				a, b := samples[i], samples[k]
+				if !pairSatisfies(r, a, b) {
+					continue
+				}
+				dd := tokens.JaccardDistance(a.Tokens(r.Dependent), b.Tokens(r.Dependent))
+				if dd < r.DepMin-1e-9 || dd > r.DepMax+1e-9 {
+					t.Fatalf("rule %v violated by pair (%s, %s): dep dist %v", r, a.RID, b.RID, dd)
+				}
+			}
+		}
+	}
+}
+
+// pairSatisfies checks Definition 3 on a complete pair.
+func pairSatisfies(r *Rule, a, b *tuple.Record) bool {
+	for _, c := range r.Determinants {
+		switch c.Kind {
+		case Const:
+			if !a.Tokens(c.Attr).Equal(c.Toks) || !b.Tokens(c.Attr).Equal(c.Toks) {
+				return false
+			}
+		case Interval:
+			d := tokens.JaccardDistance(a.Tokens(c.Attr), b.Tokens(c.Attr))
+			if d < c.Min || d > c.Max {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEditingRulesSound(t *testing.T) {
+	repo := buildCorrelatedRepo(t, 30)
+	cfg := DefaultDetectConfig()
+	cfg.PairSample = 0
+	set := Detect(repo, cfg)
+	samples := repo.Samples()
+	for _, r := range set.All() {
+		if r.Kind != KindEditing {
+			continue
+		}
+		c := r.Determinants[0]
+		var first tokens.Set
+		for _, s := range samples {
+			if !s.Tokens(c.Attr).Equal(c.Toks) {
+				continue
+			}
+			if first == nil {
+				first = s.Tokens(r.Dependent)
+				continue
+			}
+			if d := tokens.JaccardDistance(first, s.Tokens(r.Dependent)); d > cfg.EditingMaxDep+1e-9 {
+				t.Fatalf("editing rule %v violated: dep dist %v", r, d)
+			}
+		}
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Small population: all pairs.
+	all := samplePairs(5, 100, rng)
+	if len(all) != 10 {
+		t.Fatalf("all pairs of 5 = %d, want 10", len(all))
+	}
+	// Capped: exactly limit distinct pairs.
+	capped := samplePairs(100, 50, rng)
+	if len(capped) != 50 {
+		t.Fatalf("capped pairs = %d, want 50", len(capped))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range capped {
+		if p[0] >= p[1] {
+			t.Fatalf("pair not ordered: %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestBandHelpers(t *testing.T) {
+	bands := []float64{0.1, 0.3, 0.5}
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0}, {0.1, 0}, {0.11, 1}, {0.3, 1}, {0.45, 2}, {0.5, 2}, {0.51, -1}, {1, -1},
+	}
+	for _, c := range cases {
+		if got := band(c.d, bands); got != c.want {
+			t.Errorf("band(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if lo, hi := bandBounds(0, bands); lo != 0 || hi != 0.1 {
+		t.Error("bandBounds(0) wrong")
+	}
+	if lo, hi := bandBounds(2, bands); lo != 0.3 || hi != 0.5 {
+		t.Error("bandBounds(2) wrong")
+	}
+}

@@ -1,0 +1,201 @@
+// Package rules implements the dependency rules TER-iDS imputes with:
+// differential dependencies (DDs, Song & Chen), editing rules (Fan et al.),
+// and conditional differential dependencies (CDDs, Definition 3), plus a
+// self-contained miner that detects them from a complete data repository
+// (the recipe sketched in Section 2.2).
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+// Kind labels the rule family a rule was mined as.
+type Kind int
+
+// Rule families.
+const (
+	KindDD      Kind = iota // interval constraints only, εmin = 0
+	KindCDD                 // mixed constants and (banded) intervals
+	KindEditing             // constant constraints with exact dependent copy
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindDD:
+		return "DD"
+	case KindCDD:
+		return "CDD"
+	case KindEditing:
+		return "editing"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ConstraintKind distinguishes the two determinant constraint forms of
+// Definition 3.
+type ConstraintKind int
+
+// Constraint forms.
+const (
+	// Const requires both tuples to carry exactly the value v on the
+	// attribute.
+	Const ConstraintKind = iota
+	// Interval requires the Jaccard distance between the two tuples'
+	// values to lie in [Min, Max].
+	Interval
+)
+
+// Constraint is φ[A_x] for one determinant attribute A_x ∈ X.
+type Constraint struct {
+	Attr int
+	Kind ConstraintKind
+	// Value/Toks define the constant for Const constraints.
+	Value string
+	Toks  tokens.Set
+	// Min/Max define the distance interval for Interval constraints
+	// (0 <= Min < Max per the paper's relaxed εmin).
+	Min, Max float64
+}
+
+// Rule is one dependency (X → A_j, φ[XA_j]).
+type Rule struct {
+	ID           int
+	Kind         Kind
+	Dependent    int
+	Determinants []Constraint
+	// DepMin/DepMax form the dependent distance constraint A_j.I.
+	DepMin, DepMax float64
+}
+
+// AppliesTo reports whether the rule can be used to impute rec's missing
+// dependent attribute: every determinant attribute must be present, and
+// constant constraints must match rec's value exactly (token-set equality).
+func (r *Rule) AppliesTo(rec *tuple.Record) bool {
+	for _, c := range r.Determinants {
+		if rec.IsMissing(c.Attr) {
+			return false
+		}
+		if c.Kind == Const && !rec.Tokens(c.Attr).Equal(c.Toks) {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleMatches reports whether repository sample s satisfies the rule's
+// determinant constraints with respect to rec: constant constraints require
+// s to carry the constant too, interval constraints require the Jaccard
+// distance between rec and s on the attribute to fall inside [Min, Max].
+// Callers must have established AppliesTo(rec).
+func (r *Rule) SampleMatches(rec, s *tuple.Record) bool {
+	for _, c := range r.Determinants {
+		switch c.Kind {
+		case Const:
+			if !s.Tokens(c.Attr).Equal(c.Toks) {
+				return false
+			}
+		case Interval:
+			d := tokens.JaccardDistance(rec.Tokens(c.Attr), s.Tokens(c.Attr))
+			if d < c.Min || d > c.Max {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the rule in the paper's notation.
+func (r *Rule) String() string {
+	var parts []string
+	for _, c := range r.Determinants {
+		if c.Kind == Const {
+			parts = append(parts, fmt.Sprintf("A%d=%q", c.Attr, c.Value))
+		} else {
+			parts = append(parts, fmt.Sprintf("A%d∈[%.2f,%.2f]", c.Attr, c.Min, c.Max))
+		}
+	}
+	return fmt.Sprintf("%s{%s → A%d, [%.2f,%.2f]}",
+		r.Kind, strings.Join(parts, ","), r.Dependent, r.DepMin, r.DepMax)
+}
+
+// Set is a collection of rules grouped by dependent attribute.
+type Set struct {
+	d     int
+	byDep [][]*Rule
+	all   []*Rule
+}
+
+// NewSet creates an empty set for a d-attribute schema.
+func NewSet(d int) *Set {
+	return &Set{d: d, byDep: make([][]*Rule, d)}
+}
+
+// Add appends a rule, assigning it the next id.
+func (s *Set) Add(r *Rule) error {
+	if r.Dependent < 0 || r.Dependent >= s.d {
+		return fmt.Errorf("rules: dependent attribute %d out of range [0,%d)", r.Dependent, s.d)
+	}
+	if r.DepMin < 0 || r.DepMax < r.DepMin {
+		return fmt.Errorf("rules: bad dependent interval [%v,%v]", r.DepMin, r.DepMax)
+	}
+	if len(r.Determinants) == 0 {
+		return fmt.Errorf("rules: rule has no determinant constraints")
+	}
+	for _, c := range r.Determinants {
+		if c.Attr == r.Dependent {
+			return fmt.Errorf("rules: determinant %d equals dependent", c.Attr)
+		}
+		if c.Attr < 0 || c.Attr >= s.d {
+			return fmt.Errorf("rules: determinant attribute %d out of range", c.Attr)
+		}
+		if c.Kind == Interval && (c.Min < 0 || c.Max < c.Min) {
+			return fmt.Errorf("rules: bad interval constraint [%v,%v] on attr %d", c.Min, c.Max, c.Attr)
+		}
+	}
+	r.ID = len(s.all)
+	s.all = append(s.all, r)
+	s.byDep[r.Dependent] = append(s.byDep[r.Dependent], r)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (s *Set) MustAdd(r *Rule) {
+	if err := s.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// ForDependent returns the rules imputing attribute j.
+func (s *Set) ForDependent(j int) []*Rule { return s.byDep[j] }
+
+// All returns every rule.
+func (s *Set) All() []*Rule { return s.all }
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.all) }
+
+// D returns the schema dimensionality the set was built for.
+func (s *Set) D() int { return s.d }
+
+// Filter returns a new Set holding only rules of the given kinds, with ids
+// reassigned. It lets the baselines run on DD-only or editing-only subsets.
+func (s *Set) Filter(kinds ...Kind) *Set {
+	keep := map[Kind]bool{}
+	for _, k := range kinds {
+		keep[k] = true
+	}
+	out := NewSet(s.d)
+	for _, r := range s.all {
+		if keep[r.Kind] {
+			cp := *r
+			out.MustAdd(&cp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"terids/internal/tokens"
+	"terids/internal/tuple"
+)
+
+var schema = tuple.MustSchema("Gender", "Symptom", "Diagnosis")
+
+func rec(vals ...string) *tuple.Record {
+	return tuple.MustRecord(schema, "r", 0, 0, vals)
+}
+
+// paperCDD is the motivating rule of Section 2.2:
+// (Gender, Symptom → Diagnosis, {male, [0,0.3], [0,0.2]}).
+func paperCDD() *Rule {
+	return &Rule{
+		Kind:      KindCDD,
+		Dependent: 2,
+		Determinants: []Constraint{
+			{Attr: 0, Kind: Const, Value: "male", Toks: tokens.New("male")},
+			{Attr: 1, Kind: Interval, Min: 0, Max: 0.3},
+		},
+		DepMin: 0, DepMax: 0.2,
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	r := paperCDD()
+	// a2 from Table 1: male, symptoms present, diagnosis missing.
+	a2 := rec("male", "loss of weight, blurred vision", "-")
+	if !r.AppliesTo(a2) {
+		t.Fatal("rule must apply to a2")
+	}
+	female := rec("female", "fever", "-")
+	if r.AppliesTo(female) {
+		t.Fatal("const mismatch must reject")
+	}
+	missingDet := rec("-", "fever", "-")
+	if r.AppliesTo(missingDet) {
+		t.Fatal("missing determinant must reject")
+	}
+}
+
+func TestSampleMatches(t *testing.T) {
+	r := paperCDD()
+	a2 := rec("male", "loss of weight, blurred vision", "-")
+	// p1 from Section 2.2: same tokens on Symptom up to "weight loss" vs
+	// "loss of weight": tokens {loss, weight} vs {blurred, loss, of,
+	// vision, weight}. dist = 1 - 2/5 = 0.6 > 0.3: must NOT match.
+	p1 := rec("male", "weight loss", "diabetes")
+	if r.SampleMatches(a2, p1) {
+		t.Fatal("p1 too far on Symptom; must not match")
+	}
+	// A closer sample within 0.3.
+	p2 := rec("male", "loss of weight, blurred vision, thirst", "diabetes")
+	// dist = 1 - 5/6 ≈ 0.167 <= 0.3.
+	if !r.SampleMatches(a2, p2) {
+		t.Fatal("p2 must match")
+	}
+	// Wrong gender sample.
+	p3 := rec("female", "loss of weight, blurred vision", "flu")
+	if r.SampleMatches(a2, p3) {
+		t.Fatal("const constraint must bind the sample too")
+	}
+}
+
+func TestIntervalMinRespected(t *testing.T) {
+	// Banded constraint [0.2, 0.5]: identical values (dist 0) must NOT
+	// match — this is the relaxed εmin of Definition 3.
+	r := &Rule{
+		Kind:      KindDD,
+		Dependent: 2,
+		Determinants: []Constraint{
+			{Attr: 1, Kind: Interval, Min: 0.2, Max: 0.5},
+		},
+		DepMin: 0, DepMax: 0.3,
+	}
+	a := rec("x", "fever cough", "-")
+	same := rec("y", "fever cough", "flu")
+	if r.SampleMatches(a, same) {
+		t.Fatal("distance 0 below εmin must not match")
+	}
+	mid := rec("y", "fever cough headache", "flu") // dist = 1/3
+	if !r.SampleMatches(a, mid) {
+		t.Fatal("distance inside band must match")
+	}
+}
+
+func TestSetAddValidation(t *testing.T) {
+	s := NewSet(3)
+	bad := []*Rule{
+		{Dependent: 5, Determinants: []Constraint{{Attr: 0, Kind: Interval, Max: 0.1}}},
+		{Dependent: 1, Determinants: nil, DepMax: 0.1},
+		{Dependent: 1, Determinants: []Constraint{{Attr: 1, Kind: Interval, Max: 0.1}}},
+		{Dependent: 1, Determinants: []Constraint{{Attr: 0, Kind: Interval, Min: 0.5, Max: 0.1}}},
+		{Dependent: 1, Determinants: []Constraint{{Attr: 0, Kind: Interval, Max: 0.1}}, DepMin: 0.5, DepMax: 0.2},
+	}
+	for i, r := range bad {
+		if err := s.Add(r); err == nil {
+			t.Errorf("bad rule %d accepted: %v", i, r)
+		}
+	}
+	good := paperCDD()
+	if err := s.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || len(s.ForDependent(2)) != 1 || len(s.ForDependent(0)) != 0 {
+		t.Fatal("set bookkeeping wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := NewSet(3)
+	s.MustAdd(paperCDD())
+	s.MustAdd(&Rule{
+		Kind: KindDD, Dependent: 2,
+		Determinants: []Constraint{{Attr: 1, Kind: Interval, Max: 0.3}},
+		DepMax:       0.4,
+	})
+	s.MustAdd(&Rule{
+		Kind: KindEditing, Dependent: 1,
+		Determinants: []Constraint{{Attr: 0, Kind: Const, Value: "male", Toks: tokens.New("male")}},
+		DepMax:       0.1,
+	})
+	dd := s.Filter(KindDD)
+	if dd.Len() != 1 || dd.All()[0].Kind != KindDD {
+		t.Fatalf("Filter(DD) = %d rules", dd.Len())
+	}
+	both := s.Filter(KindDD, KindCDD)
+	if both.Len() != 2 {
+		t.Fatalf("Filter(DD, CDD) = %d rules", both.Len())
+	}
+	// Filtered sets are deep-enough copies: mutating the copy's rule does
+	// not corrupt the original's ID ordering.
+	both.All()[0].DepMax = 0.99
+	if s.All()[0].DepMax == 0.99 {
+		t.Fatal("Filter must copy rules")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	got := paperCDD().String()
+	if got == "" {
+		t.Fatal("String must render something")
+	}
+	for _, want := range []string{"CDD", "male", "A2"} {
+		if !contains1(got, want) {
+			t.Errorf("String %q missing %q", got, want)
+		}
+	}
+}
+
+func contains1(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestKindString(t *testing.T) {
+	if KindDD.String() != "DD" || KindCDD.String() != "CDD" || KindEditing.String() != "editing" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("unknown kind rendering wrong")
+	}
+}
+
+func ExampleRule_String() {
+	fmt.Println(paperCDD())
+	// Output: CDD{A0="male",A1∈[0.00,0.30] → A2, [0.00,0.20]}
+}

@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestQuickWindowIsLastW: after any push sequence, the window holds exactly
+// the last min(n, w) records in arrival order, and evictions happen in FIFO
+// order.
+func TestQuickWindowIsLastW(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + r.Intn(10)
+		n := r.Intn(40)
+		win := MustWindow(w)
+		var pushed []string
+		var evicted []string
+		for i := 0; i < n; i++ {
+			rec := rec(fmt.Sprintf("t%d-%d", trial, i), 0, int64(i))
+			pushed = append(pushed, rec.RID)
+			if exp := win.Push(rec); exp != nil {
+				evicted = append(evicted, exp.RID)
+			}
+		}
+		snap := win.Snapshot()
+		start := n - w
+		if start < 0 {
+			start = 0
+		}
+		want := pushed[start:]
+		if len(snap) != len(want) {
+			t.Fatalf("trial %d: window has %d records, want %d", trial, len(snap), len(want))
+		}
+		for i := range want {
+			if snap[i].RID != want[i] {
+				t.Fatalf("trial %d: window[%d] = %s, want %s", trial, i, snap[i].RID, want[i])
+			}
+		}
+		// Evicted = everything before the window, in order.
+		if len(evicted) != start {
+			t.Fatalf("trial %d: %d evictions, want %d", trial, len(evicted), start)
+		}
+		for i := 0; i < start; i++ {
+			if evicted[i] != pushed[i] {
+				t.Fatalf("trial %d: eviction %d = %s, want %s (FIFO)", trial, i, evicted[i], pushed[i])
+			}
+		}
+	}
+}
+
+// TestQuickTimeWindowInvariant: after Advance(now), every live record has
+// Seq > now - span, and expired ones do not.
+func TestQuickTimeWindowInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 100; trial++ {
+		span := int64(1 + r.Intn(20))
+		tw, err := NewTimeWindow(span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := int64(0)
+		for i := 0; i < 50; i++ {
+			now += int64(r.Intn(4))
+			if err := tw.Push(rec(fmt.Sprintf("r%d-%d", trial, i), 0, now)); err != nil {
+				t.Fatal(err)
+			}
+			if r.Intn(3) == 0 {
+				expired := tw.Advance(now)
+				for _, e := range expired {
+					if e.Seq > now-span {
+						t.Fatalf("trial %d: expired %s with Seq %d > %d", trial, e.RID, e.Seq, now-span)
+					}
+				}
+				for _, l := range tw.Snapshot() {
+					if l.Seq <= now-span {
+						t.Fatalf("trial %d: live %s with Seq %d <= %d", trial, l.RID, l.Seq, now-span)
+					}
+				}
+			}
+		}
+	}
+}

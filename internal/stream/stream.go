@@ -1,0 +1,194 @@
+// Package stream models incomplete data streams (Definition 1) and the
+// count-based sliding window of Definition 2, plus the time-based window
+// variant the paper sketches as an extension (Section 2.1).
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"terids/internal/tuple"
+)
+
+// Source yields records in arrival order. Next returns false when the
+// stream is exhausted.
+type Source interface {
+	Next() (*tuple.Record, bool)
+}
+
+// SliceSource replays a fixed slice of records. The zero value is an
+// exhausted source.
+type SliceSource struct {
+	recs []*tuple.Record
+	i    int
+}
+
+// NewSliceSource wraps recs (replayed in the given order).
+func NewSliceSource(recs []*tuple.Record) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*tuple.Record, bool) {
+	if s.i >= len(s.recs) {
+		return nil, false
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true
+}
+
+// Len reports the number of records remaining.
+func (s *SliceSource) Len() int { return len(s.recs) - s.i }
+
+// Interleave merges records from multiple per-stream slices into a single
+// arrival order sorted by Seq (ties broken by stream id then RID, for
+// determinism). It returns the merged sequence.
+func Interleave(perStream ...[]*tuple.Record) []*tuple.Record {
+	var all []*tuple.Record
+	for _, s := range perStream {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.RID < b.RID
+	})
+	return all
+}
+
+// Window is the count-based sliding window W_t of Definition 2 over one
+// stream: the w most recent tuples. Push returns the evicted tuple once the
+// window is full.
+type Window struct {
+	w     int
+	buf   []*tuple.Record
+	head  int // index of the oldest tuple
+	count int
+}
+
+// NewWindow creates a window of capacity w (w >= 1).
+func NewWindow(w int) (*Window, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("stream: window size %d, need >= 1", w)
+	}
+	return &Window{w: w, buf: make([]*tuple.Record, w)}, nil
+}
+
+// MustWindow is NewWindow that panics on error.
+func MustWindow(w int) *Window {
+	win, err := NewWindow(w)
+	if err != nil {
+		panic(err)
+	}
+	return win
+}
+
+// Cap returns the window capacity w.
+func (w *Window) Cap() int { return w.w }
+
+// Len returns the number of tuples currently held.
+func (w *Window) Len() int { return w.count }
+
+// Push appends a newly arriving tuple; if the window was full, the oldest
+// tuple is evicted and returned (expired, nil otherwise).
+func (w *Window) Push(r *tuple.Record) (expired *tuple.Record) {
+	if w.count == w.w {
+		expired = w.buf[w.head]
+		w.buf[w.head] = r
+		w.head = (w.head + 1) % w.w
+		return expired
+	}
+	w.buf[(w.head+w.count)%w.w] = r
+	w.count++
+	return nil
+}
+
+// Each visits the live tuples from oldest to newest; returning false from
+// the callback stops the scan.
+func (w *Window) Each(visit func(*tuple.Record) bool) {
+	for i := 0; i < w.count; i++ {
+		if !visit(w.buf[(w.head+i)%w.w]) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the live tuples oldest-first.
+func (w *Window) Snapshot() []*tuple.Record {
+	out := make([]*tuple.Record, 0, w.count)
+	w.Each(func(r *tuple.Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// MultiWindow maintains one count-based window per stream, the layout used
+// by the TER-iDS problem statement (n streams, each with its own W_t).
+type MultiWindow struct {
+	wins []*Window
+}
+
+// NewMultiWindow creates n windows of capacity w each.
+func NewMultiWindow(n, w int) (*MultiWindow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stream: need >= 1 streams, got %d", n)
+	}
+	mw := &MultiWindow{wins: make([]*Window, n)}
+	for i := range mw.wins {
+		win, err := NewWindow(w)
+		if err != nil {
+			return nil, err
+		}
+		mw.wins[i] = win
+	}
+	return mw, nil
+}
+
+// Streams returns the number of streams.
+func (m *MultiWindow) Streams() int { return len(m.wins) }
+
+// Push routes r to its stream's window and returns the evicted tuple, if
+// any.
+func (m *MultiWindow) Push(r *tuple.Record) (*tuple.Record, error) {
+	if r.Stream < 0 || r.Stream >= len(m.wins) {
+		return nil, fmt.Errorf("stream: record %s has stream %d, have %d streams",
+			r.RID, r.Stream, len(m.wins))
+	}
+	return m.wins[r.Stream].Push(r), nil
+}
+
+// Window returns stream i's window.
+func (m *MultiWindow) Window(i int) *Window { return m.wins[i] }
+
+// Len returns the total number of live tuples across all streams.
+func (m *MultiWindow) Len() int {
+	n := 0
+	for _, w := range m.wins {
+		n += w.Len()
+	}
+	return n
+}
+
+// Each visits all live tuples across all streams.
+func (m *MultiWindow) Each(visit func(*tuple.Record) bool) {
+	for _, w := range m.wins {
+		stop := false
+		w.Each(func(r *tuple.Record) bool {
+			if !visit(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"terids/internal/tuple"
+)
+
+var testSchema = tuple.MustSchema("a")
+
+func rec(rid string, stream int, seq int64) *tuple.Record {
+	return tuple.MustRecord(testSchema, rid, stream, seq, []string{"v " + rid})
+}
+
+func TestSliceSource(t *testing.T) {
+	rs := []*tuple.Record{rec("r1", 0, 0), rec("r2", 0, 1)}
+	s := NewSliceSource(rs)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	got, ok := s.Next()
+	if !ok || got.RID != "r1" {
+		t.Fatalf("first Next = %v, %v", got, ok)
+	}
+	if got, ok = s.Next(); !ok || got.RID != "r2" {
+		t.Fatalf("second Next = %v, %v", got, ok)
+	}
+	if _, ok = s.Next(); ok {
+		t.Fatal("exhausted source must return false")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := []*tuple.Record{rec("a1", 0, 0), rec("a2", 0, 4)}
+	b := []*tuple.Record{rec("b1", 1, 1), rec("b2", 1, 0)}
+	got := Interleave(a, b)
+	want := []string{"a1", "b2", "b1", "a2"} // seq 0 ties broken by stream
+	for i, r := range got {
+		if r.RID != want[i] {
+			t.Fatalf("Interleave order %d = %s, want %s", i, r.RID, want[i])
+		}
+	}
+}
+
+func TestWindowPushEvict(t *testing.T) {
+	w := MustWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 {
+		t.Fatal("fresh window state wrong")
+	}
+	for i := 0; i < 3; i++ {
+		if exp := w.Push(rec(fmt.Sprintf("r%d", i), 0, int64(i))); exp != nil {
+			t.Fatalf("push %d evicted %v before full", i, exp)
+		}
+	}
+	exp := w.Push(rec("r3", 0, 3))
+	if exp == nil || exp.RID != "r0" {
+		t.Fatalf("expected r0 evicted, got %v", exp)
+	}
+	exp = w.Push(rec("r4", 0, 4))
+	if exp == nil || exp.RID != "r1" {
+		t.Fatalf("expected r1 evicted, got %v", exp)
+	}
+	snap := w.Snapshot()
+	want := []string{"r2", "r3", "r4"}
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d", len(snap))
+	}
+	for i, r := range snap {
+		if r.RID != want[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, r.RID, want[i])
+		}
+	}
+}
+
+func TestWindowEachEarlyStop(t *testing.T) {
+	w := MustWindow(5)
+	for i := 0; i < 5; i++ {
+		w.Push(rec(fmt.Sprintf("r%d", i), 0, int64(i)))
+	}
+	n := 0
+	w.Each(func(*tuple.Record) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestWindowSizeOne(t *testing.T) {
+	w := MustWindow(1)
+	if exp := w.Push(rec("a", 0, 0)); exp != nil {
+		t.Fatal("first push must not evict")
+	}
+	if exp := w.Push(rec("b", 0, 1)); exp == nil || exp.RID != "a" {
+		t.Fatalf("w=1 must evict previous, got %v", exp)
+	}
+}
+
+func TestNewWindowError(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("window size 0 must fail")
+	}
+}
+
+func TestMultiWindow(t *testing.T) {
+	mw, err := NewMultiWindow(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw.Streams() != 2 {
+		t.Fatal("Streams != 2")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := mw.Push(rec(fmt.Sprintf("a%d", i), 0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mw.Push(rec("b0", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if mw.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", mw.Len())
+	}
+	exp, err := mw.Push(rec("a2", 0, 3))
+	if err != nil || exp == nil || exp.RID != "a0" {
+		t.Fatalf("expected a0 evicted from stream 0, got %v, %v", exp, err)
+	}
+	// Stream 1 untouched.
+	if mw.Window(1).Len() != 1 {
+		t.Fatal("stream 1 window must be unaffected")
+	}
+	if _, err := mw.Push(rec("x", 7, 9)); err == nil {
+		t.Fatal("bad stream id must error")
+	}
+	n := 0
+	mw.Each(func(*tuple.Record) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("Each visited %d, want 3", n)
+	}
+	n = 0
+	mw.Each(func(*tuple.Record) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each early stop visited %d, want 1", n)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	tw, err := NewTimeWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []int64{1, 3, 5, 12} {
+		if err := tw.Push(rec(fmt.Sprintf("r%d", seq), 0, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// now=12, span=10: cutoff 2 -> r1 expired.
+	expired := tw.Advance(12)
+	if len(expired) != 1 || expired[0].Seq != 1 {
+		t.Fatalf("expired = %v, want [seq 1]", expired)
+	}
+	if tw.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tw.Len())
+	}
+	// Advance far: everything expires.
+	expired = tw.Advance(100)
+	if len(expired) != 3 {
+		t.Fatalf("expired = %v, want 3 tuples", expired)
+	}
+	if tw.Len() != 0 {
+		t.Fatal("window must now be empty")
+	}
+	if got := tw.Advance(200); got != nil {
+		t.Fatal("advancing an empty window must return nil")
+	}
+}
+
+func TestTimeWindowOutOfOrder(t *testing.T) {
+	tw, _ := NewTimeWindow(5)
+	if err := tw.Push(rec("a", 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Push(rec("b", 0, 9)); err == nil {
+		t.Fatal("out-of-order push must fail")
+	}
+	if _, err := NewTimeWindow(0); err == nil {
+		t.Fatal("span 0 must fail")
+	}
+}

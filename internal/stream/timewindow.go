@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"fmt"
+
+	"terids/internal/tuple"
+)
+
+// TimeWindow is the time-based sliding window variant (Section 2.1 notes the
+// count-based solution "can be easily extended to the time-based one" by
+// allowing several tuples per timestamp). It retains every tuple whose Seq
+// is within span of the most recent Advance time.
+type TimeWindow struct {
+	span int64
+	buf  []*tuple.Record // oldest first
+	now  int64
+}
+
+// NewTimeWindow creates a window covering (now-span, now].
+func NewTimeWindow(span int64) (*TimeWindow, error) {
+	if span < 1 {
+		return nil, fmt.Errorf("stream: time window span %d, need >= 1", span)
+	}
+	return &TimeWindow{span: span}, nil
+}
+
+// Push adds a tuple arriving at r.Seq. Tuples must arrive in non-decreasing
+// Seq order.
+func (t *TimeWindow) Push(r *tuple.Record) error {
+	if n := len(t.buf); n > 0 && r.Seq < t.buf[n-1].Seq {
+		return fmt.Errorf("stream: out-of-order arrival %d after %d", r.Seq, t.buf[n-1].Seq)
+	}
+	t.buf = append(t.buf, r)
+	if r.Seq > t.now {
+		t.now = r.Seq
+	}
+	return nil
+}
+
+// Advance moves the clock to now and returns all expired tuples (those with
+// Seq <= now-span), oldest first.
+func (t *TimeWindow) Advance(now int64) []*tuple.Record {
+	if now > t.now {
+		t.now = now
+	}
+	cutoff := t.now - t.span
+	i := 0
+	for i < len(t.buf) && t.buf[i].Seq <= cutoff {
+		i++
+	}
+	if i == 0 {
+		return nil
+	}
+	expired := append([]*tuple.Record(nil), t.buf[:i]...)
+	t.buf = append(t.buf[:0], t.buf[i:]...)
+	return expired
+}
+
+// Len returns the number of live tuples.
+func (t *TimeWindow) Len() int { return len(t.buf) }
+
+// Snapshot returns the live tuples oldest-first.
+func (t *TimeWindow) Snapshot() []*tuple.Record {
+	return append([]*tuple.Record(nil), t.buf...)
+}

@@ -1,0 +1,107 @@
+package tokens
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want float64
+	}{
+		{nil, nil, 1},
+		{New("a"), nil, 0},
+		{nil, New("a"), 0},
+		{New("a", "b"), New("a", "b"), 1},
+		{New("a", "b"), New("b", "c"), 1.0 / 3.0},
+		{New("a", "b", "c", "d"), New("c", "d", "e", "f"), 2.0 / 6.0},
+		{New("x"), New("y"), 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := JaccardDistance(c.a, c.b); math.Abs(got-(1-c.want)) > 1e-12 {
+			t.Errorf("JaccardDistance(%v, %v) = %v, want %v", c.a, c.b, got, 1-c.want)
+		}
+	}
+}
+
+func TestSimUpperBoundBySize(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{0, 0, 1},
+		{0, 5, 0}, // empty vs non-empty: actual similarity is 0, bound is tight
+		{5, 0, 0},
+		{3, 3, 1},
+		{2, 4, 0.5},
+		{4, 2, 0.5},
+		{8, 10, 0.8},
+	}
+	for _, c := range cases {
+		if got := SimUpperBoundBySize(c.n, c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SimUpperBoundBySize(%d, %d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestSimUpperBoundBySizeInterval(t *testing.T) {
+	// Paper Example 5: |T(r1[C])| in [5,7], |T(r2[C])| in [10,12] -> 7/10.
+	if got := SimUpperBoundBySizeInterval(5, 7, 10, 12); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("interval bound = %v, want 0.7", got)
+	}
+	// Symmetric case.
+	if got := SimUpperBoundBySizeInterval(10, 12, 5, 7); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("interval bound = %v, want 0.7", got)
+	}
+	// Overlapping intervals give the trivial bound 1.
+	if got := SimUpperBoundBySizeInterval(5, 10, 8, 12); got != 1 {
+		t.Errorf("overlapping interval bound = %v, want 1", got)
+	}
+	// Point sizes reduce to SimUpperBoundBySize: Example 5 attr A: 10 vs 8 -> 8/10.
+	if got := SimUpperBoundBySizeInterval(10, 10, 8, 8); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("point interval bound = %v, want 0.8", got)
+	}
+}
+
+func TestMinDistByPivot(t *testing.T) {
+	// Paper Example 6 attribute A: X=0.3 (point), Y=0.7 (point) -> 0.4.
+	if got := MinDistByPivot(0.3, 0.3, 0.7, 0.7); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("MinDistByPivot = %v, want 0.4", got)
+	}
+	// Example 6 attribute C: X in [0.1,0.2], Y in [0.7,0.9] -> 0.5.
+	if got := MinDistByPivot(0.1, 0.2, 0.7, 0.9); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MinDistByPivot = %v, want 0.5", got)
+	}
+	// Overlap -> 0.
+	if got := MinDistByPivot(0.1, 0.5, 0.4, 0.9); got != 0 {
+		t.Errorf("MinDistByPivot overlap = %v, want 0", got)
+	}
+	// Swapped sides.
+	if got := MinDistByPivot(0.7, 0.9, 0.1, 0.2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MinDistByPivot swapped = %v, want 0.5", got)
+	}
+}
+
+func TestExample5EndToEnd(t *testing.T) {
+	// Reconstructs the full similarity upper bound of Example 5: 0.8+0.7+0.7.
+	ub := SimUpperBoundBySizeInterval(10, 10, 8, 8) +
+		SimUpperBoundBySizeInterval(7, 7, 10, 10) +
+		SimUpperBoundBySizeInterval(5, 7, 10, 12)
+	if math.Abs(ub-2.2) > 1e-12 {
+		t.Errorf("Example 5 total = %v, want 2.2", ub)
+	}
+}
+
+func TestExample6EndToEnd(t *testing.T) {
+	// ub_sim(r1, r2) = 3 - ((0.7-0.3) + (0.8-0.3) + (0.7-0.2)) = 1.6.
+	ub := 3 - (MinDistByPivot(0.3, 0.3, 0.7, 0.7) +
+		MinDistByPivot(0.3, 0.3, 0.8, 0.8) +
+		MinDistByPivot(0.1, 0.2, 0.7, 0.9))
+	if math.Abs(ub-1.6) > 1e-12 {
+		t.Errorf("Example 6 total = %v, want 1.6", ub)
+	}
+}

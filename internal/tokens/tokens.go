@@ -1,0 +1,168 @@
+// Package tokens implements token sets over textual attribute values and
+// the Jaccard similarity/distance used throughout TER-iDS (Definition 5 of
+// the paper). Token sets are stored sorted and deduplicated so that set
+// operations run in linear time via merge scans.
+package tokens
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Set is a sorted, duplicate-free collection of tokens. The zero value is an
+// empty set ready to use.
+type Set []string
+
+// Tokenize splits a textual attribute value into a token set. Tokens are
+// lower-cased maximal runs of letters and digits; everything else is a
+// separator. An empty or all-separator string yields an empty set.
+func Tokenize(s string) Set {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	return New(fields...)
+}
+
+// New builds a Set from raw tokens, sorting and deduplicating them.
+// Empty tokens are dropped.
+func New(toks ...string) Set {
+	if len(toks) == 0 {
+		return nil
+	}
+	cp := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t != "" {
+			cp = append(cp, t)
+		}
+	}
+	sort.Strings(cp)
+	out := cp[:0]
+	for i, t := range cp {
+		if i == 0 || t != cp[i-1] {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return Set(out)
+}
+
+// Len reports the number of tokens in the set.
+func (s Set) Len() int { return len(s) }
+
+// Contains reports whether tok is a member of the set.
+func (s Set) Contains(tok string) bool {
+	i := sort.SearchStrings(s, tok)
+	return i < len(s) && s[i] == tok
+}
+
+// ContainsAny reports whether any token of other appears in s. It is the
+// Boolean topic function ϖ(r, K) of the problem statement when other holds
+// the query keywords.
+func (s Set) ContainsAny(other Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] == other[j]:
+			return true
+		case s[i] < other[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// IntersectSize returns |s ∩ other|.
+func (s Set) IntersectSize(other Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] == other[j]:
+			n++
+			i++
+			j++
+		case s[i] < other[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |s ∪ other|.
+func (s Set) UnionSize(other Set) int {
+	return len(s) + len(other) - s.IntersectSize(other)
+}
+
+// Union returns a new set holding s ∪ other.
+func (s Set) Union(other Set) Set {
+	out := make(Set, 0, len(s)+len(other))
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] == other[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < other[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			out = append(out, other[j])
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, other[j:]...)
+	return out
+}
+
+// Intersect returns a new set holding s ∩ other.
+func (s Set) Intersect(other Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] == other[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < other[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two sets hold exactly the same tokens.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a space-joined token list.
+func (s Set) String() string { return strings.Join(s, " ") }
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,77 @@
+package tuple
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csv layout: header row is "rid,stream,entity,<attr1>,...,<attrd>"; each
+// data row carries the record identity followed by the d attribute values
+// (Missing marker for absent ones). EntityID -1 is written for unlabeled
+// records.
+
+// WriteCSV serializes records (all sharing schema) to w.
+func WriteCSV(w io.Writer, schema *Schema, recs []*Record) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"rid", "stream", "entity"}, schema.Attrs()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tuple: writing csv header: %w", err)
+	}
+	row := make([]string, 0, 3+schema.D())
+	for _, r := range recs {
+		row = row[:0]
+		row = append(row, r.RID, strconv.Itoa(r.Stream), strconv.Itoa(r.EntityID))
+		for j := 0; j < r.D(); j++ {
+			row = append(row, r.Value(j))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("tuple: writing csv row for %s: %w", r.RID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV. The schema is reconstructed
+// from the header. Sequence numbers are assigned in file order.
+func ReadCSV(r io.Reader) (*Schema, []*Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("tuple: reading csv header: %w", err)
+	}
+	if len(header) < 4 || header[0] != "rid" || header[1] != "stream" || header[2] != "entity" {
+		return nil, nil, fmt.Errorf("tuple: malformed csv header %v", header)
+	}
+	schema, err := NewSchema(header[3:]...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []*Record
+	for seq := int64(0); ; seq++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("tuple: reading csv row %d: %w", seq, err)
+		}
+		stream, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("tuple: row %d: bad stream id %q", seq, row[1])
+		}
+		entity, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, nil, fmt.Errorf("tuple: row %d: bad entity id %q", seq, row[2])
+		}
+		rec, err := NewRecord(schema, row[0], stream, seq, row[3:])
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.EntityID = entity
+		recs = append(recs, rec)
+	}
+	return schema, recs, nil
+}

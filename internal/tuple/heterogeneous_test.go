@@ -1,0 +1,61 @@
+package tuple
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"terids/internal/tokens"
+)
+
+func TestSimHeterogeneous(t *testing.T) {
+	s1 := MustSchema("title", "authors")
+	s2 := MustSchema("name", "people", "venue") // different schema entirely
+	a := MustRecord(s1, "a", 0, 0, []string{"entity resolution streams", "ren lian"})
+	b := MustRecord(s2, "b", 1, 0, []string{"entity resolution", "ren lian ghazinour", "sigmod"})
+	got := SimHeterogeneous(a, b)
+	// T(a) = {entity, resolution, streams, ren, lian} (5)
+	// T(b) = {entity, resolution, ren, lian, ghazinour, sigmod} (6)
+	// intersection = 4, union = 7.
+	if want := 4.0 / 7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SimHeterogeneous = %v, want %v", got, want)
+	}
+}
+
+func TestSimHeterogeneousIgnoresMissing(t *testing.T) {
+	s := MustSchema("a", "b")
+	r1 := MustRecord(s, "r1", 0, 0, []string{"x y", "-"})
+	r2 := MustRecord(s, "r2", 1, 0, []string{"x y", "z"})
+	// T(r1) = {x, y}, T(r2) = {x, y, z} -> 2/3.
+	if got, want := SimHeterogeneous(r1, r2), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SimHeterogeneous = %v, want %v", got, want)
+	}
+}
+
+func TestSimHeterogeneousProperties(t *testing.T) {
+	s := MustSchema("a", "b", "c")
+	r := rand.New(rand.NewSource(8))
+	randVal := func() string {
+		out := ""
+		for i := 0; i <= r.Intn(4); i++ {
+			out += string(rune('a'+r.Intn(10))) + " "
+		}
+		return out
+	}
+	for i := 0; i < 2000; i++ {
+		a := MustRecord(s, "a", 0, 0, []string{randVal(), randVal(), randVal()})
+		b := MustRecord(s, "b", 1, 0, []string{randVal(), randVal(), randVal()})
+		sim := SimHeterogeneous(a, b)
+		if sim < 0 || sim > 1 {
+			t.Fatalf("out of range: %v", sim)
+		}
+		if sim != SimHeterogeneous(b, a) {
+			t.Fatal("not symmetric")
+		}
+		// Upper-bounded by 1 and consistent with token overlap.
+		if a.AllTokens().IntersectSize(b.AllTokens()) == 0 && sim != 0 {
+			t.Fatal("no overlap must give 0")
+		}
+	}
+	_ = tokens.Set{}
+}

@@ -1,0 +1,63 @@
+// Package tuple defines the data model of TER-iDS: d-attribute textual
+// records arriving on incomplete data streams (Definition 1), and imputed
+// probabilistic tuples whose instances carry existence probabilities
+// (Definition 4).
+package tuple
+
+import "fmt"
+
+// Missing is the textual marker for a missing attribute value ("−" in the
+// paper; we accept "-" and "" as missing on input).
+const Missing = "-"
+
+// Schema names the d attributes shared by all records of a stream. Streams
+// are homogeneous (Section 2.3).
+type Schema struct {
+	attrs []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute names. Names must be non-empty
+// and unique.
+func NewSchema(attrs ...string) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("tuple: schema needs at least one attribute")
+	}
+	s := &Schema{attrs: append([]string(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("tuple: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("tuple: duplicate attribute name %q", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and fixed literals.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// D returns the dimensionality (number of attributes).
+func (s *Schema) D() int { return len(s.attrs) }
+
+// Attr returns the name of attribute j.
+func (s *Schema) Attr(j int) string { return s.attrs[j] }
+
+// Attrs returns a copy of all attribute names in order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
