@@ -6,9 +6,15 @@
 package bench
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/engine"
 	"terids/internal/experiments"
+	"terids/internal/tuple"
 )
 
 // benchParams shrinks the workload so `go test -bench=.` stays tractable
@@ -149,4 +155,108 @@ func BenchmarkAblationPruning(b *testing.B) {
 // first-value pivots (the Section 5.4 design choice).
 func BenchmarkAblationPivot(b *testing.B) {
 	runExperiment(b, "ablation-pivot", benchParams())
+}
+
+// engineFixture caches one dataset + offline state for the engine
+// throughput benchmarks, so iterations measure only the online phase.
+type engineFixture struct {
+	sh     *core.Shared
+	cfg    core.Config
+	stream []*tuple.Record
+}
+
+var (
+	engineFixOnce sync.Once
+	engineFix     engineFixture
+	engineFixErr  error
+)
+
+func loadEngineFixture(b *testing.B) engineFixture {
+	b.Helper()
+	engineFixOnce.Do(func() {
+		prof, err := dataset.ProfileByName("Citations")
+		if err != nil {
+			engineFixErr = err
+			return
+		}
+		data, err := dataset.Generate(prof, dataset.Options{
+			Scale: 1, MissingRate: 0.3, MissingAttrs: 1, RepoRatio: 0.5, Seed: 1,
+		})
+		if err != nil {
+			engineFixErr = err
+			return
+		}
+		sh, err := core.Prepare(data.Repo, core.DefaultPrepareConfig(data.Keywords))
+		if err != nil {
+			engineFixErr = err
+			return
+		}
+		engineFix = engineFixture{
+			sh: sh,
+			cfg: core.Config{
+				Keywords:   data.Keywords,
+				Gamma:      0.5 * float64(data.Schema.D()),
+				Alpha:      0.5,
+				WindowSize: 200,
+				Streams:    2,
+			},
+			stream: data.Stream,
+		}
+	})
+	if engineFixErr != nil {
+		b.Fatalf("engine fixture: %v", engineFixErr)
+	}
+	return engineFix
+}
+
+// BenchmarkProcessorBaseline is the single-threaded tuples/sec reference
+// the engine benchmarks are compared against.
+func BenchmarkProcessorBaseline(b *testing.B) {
+	f := loadEngineFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc, err := core.NewProcessor(f.sh, f.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.stream {
+			if _, err := proc.Advance(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkEngineShards measures sharded engine throughput at K ∈
+// {1, 2, 4, 8} over the same stream as BenchmarkProcessorBaseline, giving
+// future PRs a perf trajectory to track. On a 4+ core runner K=4 should
+// deliver ≥ 2× the baseline's tuples/s; on fewer cores the pipeline only
+// breaks even against channel overhead.
+func BenchmarkEngineShards(b *testing.B) {
+	f := loadEngineFixture(b)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(f.sh, engine.Config{Core: f.cfg, Shards: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range f.stream {
+					if err := eng.Submit(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -67,4 +68,28 @@ func main() {
 	}
 	write("stream_complete.csv", complete)
 	write("repository.csv", data.Repo.Samples())
+	writeNDJSON(filepath.Join(*out, "stream.ndjson"), data.Stream)
+}
+
+// writeNDJSON emits the stream in terids-serve's POST /ingest line format.
+func writeNDJSON(path string, recs []*tuple.Record) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, r := range recs {
+		vals := make([]string, r.D())
+		for j := range vals {
+			vals[j] = r.Value(j)
+		}
+		line := map[string]any{
+			"rid": r.RID, "stream": r.Stream, "seq": r.Seq, "values": vals,
+		}
+		if err := enc.Encode(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(recs))
 }

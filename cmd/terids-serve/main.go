@@ -1,0 +1,342 @@
+// Command terids-serve exposes the sharded TER-iDS engine as an HTTP ingest
+// server: incomplete tuples are POSTed as NDJSON, flow through the
+// concurrent impute → shard → merge pipeline, and matching pairs stream back
+// out as they are detected.
+//
+// The offline state (repository, rules, indexes) is bootstrapped from one of
+// the built-in synthetic dataset profiles; the online phase then accepts
+// arbitrary tuples over that profile's schema.
+//
+// Endpoints:
+//
+//	POST /ingest   NDJSON arrivals {"rid","stream","seq","values":[...]}
+//	               ("-" or "" marks a missing attribute). Backpressure comes
+//	               from the engine's bounded queues: when the ingest queue is
+//	               full the server replies 429 (with Retry-After) unless the
+//	               request opts into blocking with ?wait=1.
+//	GET  /results  live NDJSON stream of per-arrival results (matches +
+//	               expirations); ?snapshot=1 returns the current entity set.
+//	GET  /stats    engine + server counters as JSON.
+//	GET  /healthz  liveness.
+//
+// Usage:
+//
+//	terids-serve -addr :8080 -dataset Citations -shards 4 -alpha 0.5 -rho 0.5
+//	curl -X POST --data-binary @arrivals.ndjson localhost:8080/ingest
+//	curl -N localhost:8080/results
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/engine"
+	"terids/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("terids-serve: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		name     = flag.String("dataset", "Citations", "dataset profile bootstrapping the repository/schema")
+		alpha    = flag.Float64("alpha", 0.5, "probabilistic threshold α in [0,1)")
+		rho      = flag.Float64("rho", 0.5, "similarity ratio ρ (γ = ρ·d)")
+		w        = flag.Int("w", 200, "sliding window size")
+		streams  = flag.Int("streams", 2, "number of incoming streams")
+		eta      = flag.Float64("eta", 0.5, "repository size ratio η")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		shards   = flag.Int("shards", 0, "ER-grid shards (0 = GOMAXPROCS, max 8)")
+		queue    = flag.Int("queue", 256, "bounded queue depth per pipeline stage")
+		keywords = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
+	)
+	flag.Parse()
+
+	prof, err := dataset.ProfileByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := dataset.Generate(prof, dataset.Options{
+		Scale: *scale, RepoRatio: *eta, Seed: *seed,
+		MissingRate: 0.3, MissingAttrs: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kws := data.Keywords
+	if *keywords != "" {
+		kws = strings.Split(*keywords, ",")
+	}
+	log.Printf("offline phase: dataset %s, repository %d tuples, keywords %v", prof.Name, data.Repo.Len(), kws)
+	sh, err := core.Prepare(data.Repo, core.DefaultPrepareConfig(kws))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &server{schema: sh.Schema, done: make(chan struct{})}
+	eng, err := engine.New(sh, engine.Config{
+		Core: core.Config{
+			Keywords: kws, Gamma: *rho * float64(sh.Schema.D()), Alpha: *alpha,
+			WindowSize: *w, Streams: *streams,
+		},
+		Shards:     *shards,
+		QueueDepth: *queue,
+		OnResult:   srv.broadcast,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.eng = eng
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", srv.handleIngest)
+	mux.HandleFunc("GET /results", srv.handleResults)
+	mux.HandleFunc("GET /stats", srv.handleStats)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("listening on %s (%d shards, schema %v)", *addr, eng.Stats().Shards, sh.Schema.Attrs())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	close(srv.done)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := eng.Close(); err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+}
+
+// server wires the engine into HTTP handlers plus a result broadcaster.
+type server struct {
+	eng    *engine.Engine
+	schema *tuple.Schema
+	// done is closed on shutdown so idle /results streams exit instead of
+	// pinning http.Server.Shutdown to its deadline.
+	done chan struct{}
+
+	mu      sync.Mutex
+	subs    map[chan engine.Result]struct{}
+	dropped atomic.Int64
+	autoSeq atomic.Int64
+}
+
+// arrival is one /ingest NDJSON line.
+type arrival struct {
+	RID    string   `json:"rid"`
+	Stream int      `json:"stream"`
+	Seq    *int64   `json:"seq,omitempty"`
+	Values []string `json:"values"`
+}
+
+// resultLine is one /results NDJSON line.
+type resultLine struct {
+	Seq      int64      `json:"seq"`
+	RID      string     `json:"rid"`
+	Rejected bool       `json:"rejected,omitempty"`
+	Expired  []string   `json:"expired,omitempty"`
+	Pairs    []pairLine `json:"pairs"`
+}
+
+type pairLine struct {
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	Prob float64 `json:"prob"`
+}
+
+func toLine(res engine.Result) resultLine {
+	line := resultLine{Seq: res.Seq, RID: res.RID, Rejected: res.Rejected, Expired: res.Expired, Pairs: []pairLine{}}
+	for _, p := range res.Pairs {
+		line.Pairs = append(line.Pairs, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
+	}
+	return line
+}
+
+// broadcast fans one engine result out to all /results subscribers without
+// ever blocking the merger: slow subscribers drop.
+func (s *server) broadcast(res engine.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.subs {
+		select {
+		case ch <- res:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+func (s *server) subscribe() chan engine.Result {
+	ch := make(chan engine.Result, 256)
+	s.mu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[chan engine.Result]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *server) unsubscribe(ch chan engine.Result) {
+	s.mu.Lock()
+	delete(s.subs, ch)
+	s.mu.Unlock()
+}
+
+// handleIngest parses NDJSON arrivals and submits them in request order.
+func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
+	wait := req.URL.Query().Get("wait") == "1"
+	sc := bufio.NewScanner(req.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	accepted := 0
+	lineNo := 0
+	reply := func(status int, msg string) {
+		rw.Header().Set("Content-Type", "application/json")
+		if status == http.StatusTooManyRequests {
+			rw.Header().Set("Retry-After", "1")
+		}
+		rw.WriteHeader(status)
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"accepted": accepted, "line": lineNo, "error": msg,
+		})
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var a arrival
+		if err := json.Unmarshal([]byte(raw), &a); err != nil {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		}
+		if a.RID == "" {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
+			return
+		}
+		seq := s.autoSeq.Add(1)
+		if a.Seq != nil {
+			seq = *a.Seq
+		}
+		rec, err := tuple.NewRecord(s.schema, a.RID, a.Stream, seq, a.Values)
+		if err != nil {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		}
+		if wait {
+			err = s.eng.Submit(rec)
+		} else {
+			err = s.eng.TrySubmit(rec)
+		}
+		switch {
+		case errors.Is(err, engine.ErrOverloaded):
+			reply(http.StatusTooManyRequests, "ingest queue full")
+			return
+		case errors.Is(err, engine.ErrInvalidRecord):
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		case err != nil:
+			reply(http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		reply(http.StatusBadRequest, err.Error())
+		return
+	}
+	reply(http.StatusOK, "")
+}
+
+// handleResults streams live per-arrival results as NDJSON; ?snapshot=1
+// returns the current entity set instead.
+func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("snapshot") == "1" {
+		pairs := s.eng.ResultSet()
+		out := make([]pairLine, 0, len(pairs))
+		for _, p := range pairs {
+			out = append(out, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{"live_pairs": out})
+		return
+	}
+	fl, ok := rw.(http.Flusher)
+	if !ok {
+		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := s.subscribe()
+	defer s.unsubscribe(ch)
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(rw)
+	for {
+		select {
+		case res := <-ch:
+			if err := enc.Encode(toLine(res)); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// handleStats reports aggregated engine stats plus server-side counters.
+func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	s.mu.Lock()
+	nSubs := len(s.subs)
+	s.mu.Unlock()
+	topic, simUB, probUB, instPair, total := st.Totals.Prune.Power()
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"engine": st,
+		"breakdown": map[string]any{
+			"select_ns": st.Totals.Breakdown.Select.Nanoseconds(),
+			"impute_ns": st.Totals.Breakdown.Impute.Nanoseconds(),
+			"er_ns":     st.Totals.Breakdown.ER.Nanoseconds(),
+			"total_ns":  st.Totals.Breakdown.Total().Nanoseconds(),
+		},
+		"prune_power": map[string]float64{
+			"topic": topic, "sim_ub": simUB, "prob_ub": probUB,
+			"inst_pair": instPair, "total": total,
+		},
+		"subscribers":     nSubs,
+		"dropped_results": s.dropped.Load(),
+	})
+}

@@ -18,6 +18,7 @@ import (
 
 	"terids/internal/core"
 	"terids/internal/dataset"
+	"terids/internal/engine"
 	"terids/internal/metrics"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		max      = flag.Int("max", 0, "max arrivals to process (0 = all)")
+		shards   = flag.Int("shards", 1, "ER-grid shards (>1 runs the concurrent engine)")
 		keywords = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
 		verbose  = flag.Bool("v", false, "print every matching pair as it is found")
 	)
@@ -68,12 +70,9 @@ func main() {
 		sh.Rules.Len(), pivotCounts(sh), time.Since(start).Round(time.Millisecond))
 
 	gamma := *rho * float64(data.Schema.D())
-	proc, err := core.NewProcessor(sh, core.Config{
+	cfg := core.Config{
 		Keywords: kws, Gamma: gamma, Alpha: *alpha,
 		WindowSize: *w, Streams: 2,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	stream := data.Stream
@@ -81,20 +80,81 @@ func main() {
 		stream = stream[:*max]
 	}
 	emitted := map[metrics.PairKey]bool{}
-	start = time.Now()
-	for _, r := range stream {
-		pairs, err := proc.Advance(r)
+	var (
+		liveLen   int
+		breakdown metrics.Breakdown
+		pruneStat metrics.PruneStats
+		elapsed   time.Duration
+	)
+	if *shards > 1 {
+		eng, err := engine.New(sh, engine.Config{
+			Core:   cfg,
+			Shards: *shards,
+			OnResult: func(res engine.Result) {
+				for _, p := range res.Pairs {
+					emitted[p.Key()] = true
+					if *verbose {
+						// Print the arriving side's timestamp, matching the
+						// single-threaded path (pairs are RID-normalized, so
+						// the arrival may be either side).
+						t := p.A.Seq
+						if p.A.RID != res.RID {
+							t = p.B.Seq
+						}
+						fmt.Printf("t=%-6d match %s ~ %s (Pr=%.3f)\n",
+							t, p.A.RID, p.B.RID, p.Prob)
+					}
+				}
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, p := range pairs {
-			emitted[p.Key()] = true
-			if *verbose {
-				fmt.Printf("t=%-6d match %s ~ %s (Pr=%.3f)\n", r.Seq, p.A.RID, p.B.RID, p.Prob)
+		start = time.Now()
+		for _, r := range stream {
+			if err := eng.Submit(r); err != nil {
+				log.Fatal(err)
 			}
 		}
+		if err := eng.Close(); err != nil {
+			log.Fatal(err)
+		}
+		elapsed = time.Since(start)
+		st := eng.Stats()
+		liveLen = st.LivePairs
+		breakdown = st.Totals.Breakdown
+		pruneStat = st.Totals.Prune
+		fmt.Printf("engine: %d shards, per-shard residents ", st.Shards)
+		for i, ss := range st.PerShard {
+			if i > 0 {
+				fmt.Print("/")
+			}
+			fmt.Print(ss.Residents)
+		}
+		fmt.Println()
+	} else {
+		proc, err := core.NewProcessor(sh, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		for _, r := range stream {
+			pairs, err := proc.Advance(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range pairs {
+				emitted[p.Key()] = true
+				if *verbose {
+					fmt.Printf("t=%-6d match %s ~ %s (Pr=%.3f)\n", r.Seq, p.A.RID, p.B.RID, p.Prob)
+				}
+			}
+		}
+		elapsed = time.Since(start)
+		liveLen = proc.Results().Len()
+		breakdown = proc.Breakdown()
+		pruneStat = proc.PruneStats()
 	}
-	elapsed := time.Since(start)
 
 	// Ground truth restricted to the processed prefix.
 	truth := data.TruthPairs(*w, gamma)
@@ -111,11 +171,11 @@ func main() {
 	fmt.Printf("\nprocessed %d arrivals in %v (%.1f µs/tuple)\n",
 		len(stream), elapsed.Round(time.Millisecond),
 		float64(elapsed.Microseconds())/float64(len(stream)))
-	fmt.Printf("pairs emitted %d, live result set %d\n", len(emitted), proc.Results().Len())
+	fmt.Printf("pairs emitted %d, live result set %d\n", len(emitted), liveLen)
 	fmt.Printf("F-score vs ground truth: %.2f%% (precision %.2f%%, recall %.2f%%)\n",
 		conf.F1()*100, conf.Precision()*100, conf.Recall()*100)
-	fmt.Printf("cost breakdown: %v\n", proc.Breakdown())
-	topic, simUB, probUB, instPair, total := proc.PruneStats().Power()
+	fmt.Printf("cost breakdown: %v\n", breakdown)
+	topic, simUB, probUB, instPair, total := pruneStat.Power()
 	fmt.Printf("pruning power: topic %.1f%% simUB %.1f%% probUB %.1f%% instPair %.1f%% total %.1f%%\n",
 		topic, simUB, probUB, instPair, total)
 	if conf.TP == 0 && len(truth) > 0 {

@@ -1,0 +1,3 @@
+module terids
+
+go 1.24

@@ -2,13 +2,9 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"terids/internal/grid"
-	"terids/internal/impute"
 	"terids/internal/metrics"
-	"terids/internal/prune"
-	"terids/internal/rules"
 	"terids/internal/stream"
 	"terids/internal/tuple"
 )
@@ -16,10 +12,11 @@ import (
 // Processor is the TER-iDS operator of Algorithm 2: it maintains the
 // ER-grid over the sliding windows, imputes arriving incomplete tuples via
 // the CDD-index/DR-index join, prunes candidate pairs with Theorems 4.1-4.4,
-// and refines survivors into the entity set ES.
+// and refines survivors into the entity set ES. It is the single-threaded
+// driver over the per-shard Step API; the sharded engine drives the same
+// Step across grid partitions.
 type Processor struct {
-	sh      *Shared
-	cfg     Config
+	step    *Step
 	windows *stream.MultiWindow
 	// timeWins replaces windows in time-based mode (cfg.TimeSpan > 0).
 	timeWins []*stream.TimeWindow
@@ -32,12 +29,13 @@ type Processor struct {
 
 // NewProcessor builds the TER-iDS processor over pre-computed Shared state.
 func NewProcessor(sh *Shared, cfg Config) (*Processor, error) {
-	if err := cfg.Validate(sh.Schema.D()); err != nil {
+	step, err := NewStep(sh, cfg)
+	if err != nil {
 		return nil, err
 	}
+	cfg = step.Config()
 	p := &Processor{
-		sh:      sh,
-		cfg:     cfg,
+		step:    step,
 		results: NewResultSet(),
 	}
 	if cfg.TimeSpan > 0 {
@@ -56,8 +54,7 @@ func NewProcessor(sh *Shared, cfg Config) (*Processor, error) {
 		}
 		p.windows = mw
 	}
-	nPiv := 1 + sh.Sel.MaxAux()
-	g, err := grid.New(sh.Schema.D(), cfg.CellsPerDim, nPiv, len(sh.Keywords))
+	g, err := step.NewGrid()
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +103,8 @@ func (p *Processor) Grid() *grid.Grid { return p.grid }
 
 // Advance implements Resolver: one arriving tuple r_t.
 func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
-	if r.Schema() != p.sh.Schema {
+	sh := p.step.Shared()
+	if r.Schema() != sh.Schema {
 		return nil, fmt.Errorf("core: record %s uses a foreign schema", r.RID)
 	}
 	// Expiry (Algorithm 2 lines 2-7): expired tuples of r's stream leave
@@ -121,14 +119,15 @@ func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
 	}
 
 	// Imputation via the index join (line 9).
-	im := p.imputeIndexed(r)
+	im, bd := p.step.Impute(r)
+	p.breakdown.Add(bd)
 
 	var sw metrics.Stopwatch
 	sw.Start()
-	prof := prune.BuildProfile(im, p.sh.Sel, p.sh.Keywords)
+	prof := p.step.Profile(im)
 
 	// ER over the grid with the pruning cascade (lines 14-25).
-	newPairs := p.resolve(prof)
+	newPairs := p.step.Resolve(p.grid, prof, &p.pruneStat)
 
 	// Insert r^p into the grid (lines 11-13).
 	if err := p.grid.Insert(&grid.Entry{Rec: r, Prof: prof}); err != nil {
@@ -140,123 +139,4 @@ func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
 		p.results.Add(pair)
 	}
 	return newPairs, nil
-}
-
-// imputeIndexed is the 3-way join's imputation side: CDD-index rule
-// selection plus DR-index sample retrieval, accumulating candidates through
-// the pivot-accelerated domain index.
-func (p *Processor) imputeIndexed(r *tuple.Record) *tuple.Imputed {
-	if r.IsComplete() {
-		return tuple.FromComplete(r)
-	}
-	im := &tuple.Imputed{R: r, Dists: make([]tuple.AttrDist, r.D())}
-	var sw metrics.Stopwatch
-	for j := 0; j < r.D(); j++ {
-		if !r.IsMissing(j) {
-			im.Dists[j] = tuple.Point(r.Value(j), r.Tokens(j))
-			continue
-		}
-		sw.Start()
-		var applicable []*rules.Rule
-		p.sh.CDDIdx[j].Applicable(r, func(rule *rules.Rule) bool {
-			applicable = append(applicable, rule)
-			return true
-		})
-		p.breakdown.Select += sw.Lap()
-
-		dom := p.sh.Repo.Domain(j)
-		acc := impute.NewAccumulator(dom, p.sh.DomIdx[j])
-		p.sh.DRIdx.MatchingSamplesMulti(r, applicable, func(ri int, s *tuple.Record) bool {
-			acc.AddSample(dom.Lookup(s.Value(j)), applicable[ri].DepMin, applicable[ri].DepMax)
-			return true
-		})
-		im.Dists[j] = acc.Distribution(p.cfg.Impute)
-		p.breakdown.Impute += sw.Lap()
-	}
-	return im
-}
-
-// resolve runs the pruning cascade of Section 4 over the grid candidates of
-// q and returns the matching pairs.
-func (p *Processor) resolve(q *prune.Profile) []Pair {
-	var out []Pair
-	var survivors []*grid.Entry
-	p.grid.Candidates(q, grid.Query{
-		Gamma:        p.cfg.Gamma,
-		DisableTopic: p.cfg.Ablate.Topic,
-		DisableSim:   p.cfg.Ablate.Sim,
-	}, func(e *grid.Entry) bool {
-		survivors = append(survivors, e)
-		return true
-	})
-	// Deterministic order via insertion ordinals (cheap int sort).
-	slices.SortFunc(survivors, func(a, b *grid.Entry) int {
-		return int(a.Ord() - b.Ord())
-	})
-
-	// Exact pruning attribution (Figure 4): every live other-stream tuple
-	// forms one candidate pair with q. Pairs eliminated at cell level are
-	// attributed to the strategy that would have eliminated them. This
-	// pass costs O(live tuples), so it is gated behind TrackPruning.
-	if p.cfg.TrackPruning {
-		live := make(map[int64]struct{}, len(survivors))
-		for _, e := range survivors {
-			live[e.Ord()] = struct{}{}
-		}
-		p.grid.Each(func(e *grid.Entry) bool {
-			if e.Rec.Stream == q.Im.R.Stream {
-				return true
-			}
-			p.pruneStat.Considered++
-			if _, ok := live[e.Ord()]; ok {
-				return true
-			}
-			if prune.TopicPrune(q, e.Prof) {
-				p.pruneStat.Topic++
-			} else {
-				p.pruneStat.SimUB++
-			}
-			return true
-		})
-	} else {
-		p.pruneStat.Considered += int64(len(survivors))
-	}
-
-	for _, e := range survivors {
-		// Theorem 4.1.
-		if !p.cfg.Ablate.Topic && prune.TopicPrune(q, e.Prof) {
-			p.pruneStat.Topic++
-			continue
-		}
-		// Theorem 4.2 (size + pivot bounds).
-		if !p.cfg.Ablate.Sim && prune.SimPrune(q.Bounds, e.Prof.Bounds, p.cfg.Gamma) {
-			p.pruneStat.SimUB++
-			continue
-		}
-		// Theorem 4.3 (Paley-Zygmund).
-		if !p.cfg.Ablate.Prob && prune.ProbPrune(q, e.Prof, p.cfg.Gamma, p.cfg.Alpha) {
-			p.pruneStat.ProbUB++
-			continue
-		}
-		if p.cfg.Ablate.InstPair {
-			// Ablated Theorem 4.4: full Equation 2.
-			prob := prune.ExactProbability(q, e.Prof, p.cfg.Gamma)
-			p.pruneStat.Refined++
-			if prob > p.cfg.Alpha {
-				out = append(out, newPair(q.Im.R, e.Rec, prob))
-			}
-			continue
-		}
-		// Theorem 4.4 inside the refinement.
-		res := prune.Refine(q, e.Prof, p.cfg.Gamma, p.cfg.Alpha)
-		if res.PrunedEarly {
-			p.pruneStat.InstPair++
-			continue
-		}
-		p.pruneStat.Refined++
-		if res.Match {
-			out = append(out, newPair(q.Im.R, e.Rec, res.Prob))
-		}
-	}
-	return out
 }

@@ -1,0 +1,478 @@
+// Package engine is the sharded, pipelined execution layer over the TER-iDS
+// operator: a concurrency harness around core.Step that scales the hot path
+// across cores without changing the algorithm's semantics.
+//
+// The ER-grid is partitioned into K shards. Each shard worker goroutine owns
+// one grid.Grid partition — its slice of the windowed tuples — and processes
+// a FIFO command stream. An arriving tuple flows through a bounded-channel
+// pipeline:
+//
+//	Submit → [impute workers ×W] → [router] → [shard workers ×K] → [merger]
+//
+// Imputation (the CDD-index/DR-index join) reads only immutable Shared
+// state, so a pool of W workers imputes arrivals concurrently; a reorder
+// buffer in the router restores submission order. The router owns the
+// per-stream sliding windows (O(1) ring-buffer pushes — sequential state
+// that must see arrivals in order), computes expirations, and fans each
+// arrival out to every shard: candidates may reside anywhere, so resolution
+// is a broadcast, while residency (grid insertion) is routed by the hash of
+// the tuple's dominant topic, with a broadcast-residency path for tuples
+// whose topic distribution straddles shards (see topic.go). Each shard
+// resolves the query against its own partition concurrently with the other
+// shards; the merger joins the K partial results per arrival, restores
+// deterministic output order with a sequence-numbered reorder buffer, and
+// maintains the live entity set.
+//
+// Determinism: for the same submission order, emitted pairs are identical —
+// order and probabilities included — to single-threaded core.Processor.
+// Every pruning rule is safe under partitioning (cell aggregates over any
+// subset of residents still bound each member), so the surviving pair set
+// never depends on the partitioning; the merger sorts each arrival's pairs
+// by the candidate's global arrival sequence, which is exactly the grid
+// insertion-ordinal order the Processor emits.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"terids/internal/core"
+	"terids/internal/metrics"
+	"terids/internal/prune"
+	"terids/internal/stream"
+	"terids/internal/tuple"
+)
+
+// ErrOverloaded is returned by TrySubmit when the ingest queue is full
+// (backpressure; serving layers map it to HTTP 429).
+var ErrOverloaded = errors.New("engine: ingest queue full")
+
+// ErrClosed is returned by submissions after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrInvalidRecord wraps synchronous Submit/TrySubmit rejections (foreign
+// schema, out-of-range stream id). Invalid input never reaches — and never
+// poisons — the pipeline; serving layers map it to HTTP 400.
+var ErrInvalidRecord = errors.New("invalid record")
+
+// Config tunes the engine around an embedded core configuration.
+type Config struct {
+	// Core is the TER-iDS problem configuration (validated by core).
+	Core core.Config
+	// Shards is K, the number of ER-grid partitions / shard workers.
+	// Default: GOMAXPROCS capped at 8.
+	Shards int
+	// ImputeWorkers sizes the imputation pool. Default: Shards.
+	ImputeWorkers int
+	// QueueDepth bounds each pipeline channel. Default: 64.
+	QueueDepth int
+	// OnResult, when set, is invoked by the merger for every processed
+	// arrival, in submission order. It must not call back into the engine's
+	// submission path.
+	OnResult func(Result)
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.ImputeWorkers <= 0 {
+		c.ImputeWorkers = c.Shards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+}
+
+// Result is the outcome of one processed arrival.
+type Result struct {
+	// Seq is the 0-based arrival index in submission order.
+	Seq int64
+	// RID is the arriving record's identifier.
+	RID string
+	// Rejected reports that the arrival duplicated a live resident's RID
+	// and was dropped before touching any state (the Processor would error
+	// at grid insertion instead; the engine rejects up front so one bad
+	// tuple cannot poison the pipeline).
+	Rejected bool
+	// Expired lists the RIDs this arrival evicted from the windows.
+	Expired []string
+	// Pairs are the new matches, in the exact order core.Processor.Advance
+	// would return them.
+	Pairs []core.Pair
+}
+
+// item is one arrival moving through the pipeline.
+type item struct {
+	seq  int64
+	rec  *tuple.Record
+	prof *profileOut
+}
+
+// profileOut is the impute stage's product.
+type profileOut struct {
+	im    *tuple.Imputed
+	prof  *prune.Profile
+	homes []int
+}
+
+// header is the router → merger side channel: per-arrival bookkeeping the
+// merger needs to finalize seq in order.
+type header struct {
+	seq     int64
+	rid     string
+	expired []string
+	// skip marks a rejected duplicate: the merger expects no shard
+	// partials for this sequence number.
+	skip bool
+}
+
+// Engine is the sharded concurrent TER-iDS executor. Submit goroutines,
+// the pipeline stages, and stats readers may all run concurrently.
+type Engine struct {
+	step *core.Step
+	cfg  Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	subMu  sync.Mutex // serializes submissions (seq assignment + imputeIn send) + closed
+	closed bool
+	// seq is written only under subMu; atomic so Stats() can read it
+	// without queueing behind a backpressured Submit.
+	seq atomic.Int64
+
+	imputeIn   chan *item
+	imputedOut chan *item
+	shardCh    []chan shardCmd
+	hdrCh      chan header
+	partials   chan partial
+
+	imputeWG sync.WaitGroup
+	shardWG  sync.WaitGroup
+	mergeWG  sync.WaitGroup
+
+	// windows is the router-owned sequential stream state; live is the
+	// router-owned resident RID set (duplicate rejection).
+	windows  *stream.MultiWindow
+	timeWins []*stream.TimeWindow
+	live     map[string]struct{}
+
+	shards []*shard
+
+	failOnce sync.Once
+	failErr  error
+	failMu   sync.Mutex
+
+	acc       metrics.Accumulator
+	resultsMu sync.RWMutex
+	results   *core.ResultSet
+	completed int64 // guarded by resultsMu (written by merger)
+	rejected  int64 // guarded by resultsMu (written by merger)
+}
+
+// New builds and starts the engine over pre-computed Shared state.
+func New(sh *core.Shared, cfg Config) (*Engine, error) {
+	cfg.fill()
+	step, err := core.NewStep(sh, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Core = step.Config()
+	e := &Engine{
+		step:       step,
+		cfg:        cfg,
+		imputeIn:   make(chan *item, cfg.QueueDepth),
+		imputedOut: make(chan *item, cfg.QueueDepth),
+		hdrCh:      make(chan header, cfg.QueueDepth),
+		partials:   make(chan partial, cfg.QueueDepth*cfg.Shards),
+		results:    core.NewResultSet(),
+	}
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+
+	cc := cfg.Core
+	if cc.TimeSpan > 0 {
+		e.timeWins = make([]*stream.TimeWindow, cc.Streams)
+		for i := range e.timeWins {
+			tw, err := stream.NewTimeWindow(cc.TimeSpan)
+			if err != nil {
+				return nil, err
+			}
+			e.timeWins[i] = tw
+		}
+	} else {
+		mw, err := stream.NewMultiWindow(cc.Streams, cc.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		e.windows = mw
+	}
+
+	e.shardCh = make([]chan shardCmd, cfg.Shards)
+	e.shards = make([]*shard, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		g, err := step.NewGrid()
+		if err != nil {
+			return nil, err
+		}
+		e.shardCh[i] = make(chan shardCmd, cfg.QueueDepth)
+		e.shards[i] = newShard(i, e, g)
+	}
+
+	e.start()
+	return e, nil
+}
+
+// start launches the pipeline goroutines and wires the shutdown cascade:
+// closing imputeIn drains the stages left to right.
+func (e *Engine) start() {
+	for w := 0; w < e.cfg.ImputeWorkers; w++ {
+		e.imputeWG.Add(1)
+		go e.imputeWorker()
+	}
+	go func() {
+		e.imputeWG.Wait()
+		close(e.imputedOut)
+	}()
+	go e.router()
+	for _, s := range e.shards {
+		e.shardWG.Add(1)
+		go s.run()
+	}
+	go func() {
+		e.shardWG.Wait()
+		close(e.partials)
+	}()
+	e.mergeWG.Add(1)
+	go e.merger()
+}
+
+// fail records the first pipeline error and cancels everything in flight.
+func (e *Engine) fail(err error) {
+	e.failOnce.Do(func() {
+		e.failMu.Lock()
+		e.failErr = err
+		e.failMu.Unlock()
+		e.cancel()
+	})
+}
+
+// Err returns the first pipeline error, if any.
+func (e *Engine) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
+// Submit enqueues one arrival, blocking while the ingest queue is full
+// (backpressure). Submission order defines the engine's arrival order.
+func (e *Engine) Submit(r *tuple.Record) error {
+	return e.submit(r, true)
+}
+
+// TrySubmit enqueues one arrival without blocking; it returns ErrOverloaded
+// when the ingest queue is full.
+func (e *Engine) TrySubmit(r *tuple.Record) error {
+	return e.submit(r, false)
+}
+
+func (e *Engine) submit(r *tuple.Record, wait bool) error {
+	if r.Schema() != e.step.Shared().Schema {
+		return fmt.Errorf("engine: record %s uses a foreign schema: %w", r.RID, ErrInvalidRecord)
+	}
+	if r.Stream < 0 || r.Stream >= e.cfg.Core.Streams {
+		return fmt.Errorf("engine: record %s has stream %d, have %d streams: %w",
+			r.RID, r.Stream, e.cfg.Core.Streams, ErrInvalidRecord)
+	}
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	it := &item{seq: e.seq.Load(), rec: r}
+	if wait {
+		select {
+		case e.imputeIn <- it:
+		case <-e.ctx.Done():
+			if err := e.Err(); err != nil {
+				return err
+			}
+			return ErrClosed
+		}
+	} else {
+		select {
+		case e.imputeIn <- it:
+		default:
+			return ErrOverloaded
+		}
+	}
+	e.seq.Add(1)
+	return nil
+}
+
+// Close drains the pipeline (every submitted arrival is fully processed),
+// stops all workers, and returns the first pipeline error, if any. The
+// engine cannot be reused afterwards; the final entity set stays readable.
+func (e *Engine) Close() error {
+	e.subMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.imputeIn)
+	}
+	e.subMu.Unlock()
+	e.mergeWG.Wait()
+	e.cancel()
+	return e.Err()
+}
+
+// imputeWorker runs the parallel imputation stage: the index join plus
+// profile construction and home-shard selection, all over read-only state.
+func (e *Engine) imputeWorker() {
+	defer e.imputeWG.Done()
+	for it := range e.imputeIn {
+		im, bd := e.step.Impute(it.rec)
+		var sw metrics.Stopwatch
+		sw.Start()
+		prof := e.step.Profile(im)
+		out := &profileOut{im: im, prof: prof}
+		out.homes = e.homeShards(prof)
+		bd.ER += sw.Lap() // profile construction is ER-phase cost in core
+		e.acc.AddBreakdown(bd)
+		it.prof = out
+		select {
+		case e.imputedOut <- it:
+		case <-e.ctx.Done():
+			return
+		}
+	}
+}
+
+// router is the sequential heart of the pipeline: it restores submission
+// order after the parallel impute stage, advances the sliding windows,
+// and fans commands out to the shards and the merger.
+func (e *Engine) router() {
+	defer func() {
+		for _, ch := range e.shardCh {
+			close(ch)
+		}
+		close(e.hdrCh)
+	}()
+	// live tracks resident RIDs across all shards so duplicates are
+	// rejected per-tuple instead of failing a shard's grid insert.
+	e.live = make(map[string]struct{})
+	var buf reorder[*item]
+	for it := range e.imputedOut {
+		ok := true
+		buf.add(it.seq, it, func(next *item) {
+			if ok {
+				ok = e.route(next)
+			}
+		})
+		if !ok {
+			// Keep draining imputedOut so impute workers can exit; the
+			// context is cancelled, their sends abort.
+			return
+		}
+	}
+}
+
+// route processes one in-order arrival: expiry, then one command per shard.
+// Duplicate live RIDs are rejected before touching window or grid state.
+func (e *Engine) route(it *item) bool {
+	if _, dup := e.live[it.rec.RID]; dup {
+		select {
+		case e.hdrCh <- header{seq: it.seq, rid: it.rec.RID, skip: true}:
+			return true
+		case <-e.ctx.Done():
+			return false
+		}
+	}
+	expired, err := e.pushWindow(it.rec)
+	if err != nil {
+		e.fail(err)
+		return false
+	}
+	var rids []string
+	for _, x := range expired {
+		rids = append(rids, x.RID)
+		delete(e.live, x.RID)
+	}
+	e.live[it.rec.RID] = struct{}{}
+	hdr := header{seq: it.seq, rid: it.rec.RID, expired: rids}
+	select {
+	case e.hdrCh <- hdr:
+	case <-e.ctx.Done():
+		return false
+	}
+	homes := it.prof.homes
+	for i, ch := range e.shardCh {
+		cmd := shardCmd{it: it, removes: rids}
+		for _, h := range homes {
+			if h == i {
+				cmd.insert = true
+				break
+			}
+		}
+		select {
+		case ch <- cmd:
+		case <-e.ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// pushWindow mirrors core.Processor's window handling.
+func (e *Engine) pushWindow(r *tuple.Record) ([]*tuple.Record, error) {
+	if e.timeWins != nil {
+		if r.Stream < 0 || r.Stream >= len(e.timeWins) {
+			return nil, fmt.Errorf("engine: record %s has stream %d, have %d streams",
+				r.RID, r.Stream, len(e.timeWins))
+		}
+		tw := e.timeWins[r.Stream]
+		if err := tw.Push(r); err != nil {
+			return nil, err
+		}
+		return tw.Advance(r.Seq), nil
+	}
+	expired, err := e.windows.Push(r)
+	if err != nil {
+		return nil, err
+	}
+	if expired == nil {
+		return nil, nil
+	}
+	return []*tuple.Record{expired}, nil
+}
+
+// ResultSet returns a point-in-time copy of the live entity set, sorted by
+// pair key (same contract as core.ResultSet.Pairs).
+func (e *Engine) ResultSet() []core.Pair {
+	e.resultsMu.RLock()
+	defer e.resultsMu.RUnlock()
+	return e.results.Pairs()
+}
+
+// ResultCount returns the number of live pairs.
+func (e *Engine) ResultCount() int {
+	e.resultsMu.RLock()
+	defer e.resultsMu.RUnlock()
+	return e.results.Len()
+}
+
+// Completed returns how many arrivals have been fully processed.
+func (e *Engine) Completed() int64 {
+	e.resultsMu.RLock()
+	defer e.resultsMu.RUnlock()
+	return e.completed
+}

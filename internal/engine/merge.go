@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"cmp"
+	"slices"
+
+	"terids/internal/core"
+	"terids/internal/metrics"
+)
+
+// reorder releases values in strict sequence order starting at 0, buffering
+// out-of-order arrivals. The buffer is bounded in practice by the number of
+// items in flight upstream (channel capacities + worker count).
+type reorder[T any] struct {
+	next int64
+	buf  map[int64]T
+}
+
+// add offers (seq, v); emit is called zero or more times, always in
+// sequence order.
+func (r *reorder[T]) add(seq int64, v T, emit func(T)) {
+	if seq != r.next {
+		if r.buf == nil {
+			r.buf = make(map[int64]T)
+		}
+		r.buf[seq] = v
+		return
+	}
+	emit(v)
+	r.next++
+	for {
+		w, ok := r.buf[r.next]
+		if !ok {
+			return
+		}
+		delete(r.buf, r.next)
+		emit(w)
+		r.next++
+	}
+}
+
+// pending accumulates one arrival's header and its K shard partials.
+type pending struct {
+	hdr   *header
+	pairs []shardPair
+	got   int
+}
+
+// merger joins the K partial result slices per arrival, restores submission
+// order, dedups broadcast-resident candidates, and maintains the live
+// entity set — the single writer of e.results.
+func (e *Engine) merger() {
+	defer e.mergeWG.Done()
+	pend := make(map[int64]*pending)
+	var next int64
+	get := func(seq int64) *pending {
+		p, ok := pend[seq]
+		if !ok {
+			p = &pending{}
+			pend[seq] = p
+		}
+		return p
+	}
+	hdrCh, parts := e.hdrCh, e.partials
+	for hdrCh != nil || parts != nil {
+		select {
+		case h, ok := <-hdrCh:
+			if !ok {
+				hdrCh = nil
+				continue
+			}
+			p := get(h.seq)
+			hc := h
+			p.hdr = &hc
+		case pt, ok := <-parts:
+			if !ok {
+				parts = nil
+				continue
+			}
+			p := get(pt.seq)
+			p.pairs = append(p.pairs, pt.pairs...)
+			p.got++
+		case <-e.ctx.Done():
+			return
+		}
+		for {
+			p, ok := pend[next]
+			if !ok || p.hdr == nil || (!p.hdr.skip && p.got < e.cfg.Shards) {
+				break
+			}
+			delete(pend, next)
+			e.finalize(p)
+			next++
+		}
+	}
+}
+
+// finalize emits one in-order arrival: expired pairs leave the entity set,
+// merged pairs enter it in candidate-arrival order — exactly the grid
+// insertion-ordinal order core.Processor.Advance returns.
+func (e *Engine) finalize(p *pending) {
+	if p.hdr.skip {
+		e.resultsMu.Lock()
+		e.completed++
+		e.rejected++
+		e.resultsMu.Unlock()
+		if e.cfg.OnResult != nil {
+			e.cfg.OnResult(Result{Seq: p.hdr.seq, RID: p.hdr.rid, Rejected: true})
+		}
+		return
+	}
+	slices.SortFunc(p.pairs, func(a, b shardPair) int {
+		return cmp.Compare(a.candSeq, b.candSeq)
+	})
+	pairs := make([]core.Pair, 0, len(p.pairs))
+	last := int64(-1)
+	for _, sp := range p.pairs {
+		if sp.candSeq == last {
+			continue // broadcast-resident candidate emitted by several shards
+		}
+		last = sp.candSeq
+		pairs = append(pairs, sp.pair)
+	}
+	e.resultsMu.Lock()
+	for _, rid := range p.hdr.expired {
+		e.results.RemoveRID(rid)
+	}
+	for _, pr := range pairs {
+		e.results.Add(pr)
+	}
+	e.completed++
+	e.resultsMu.Unlock()
+	e.acc.Add(metrics.Totals{Tuples: 1, Pairs: int64(len(pairs))})
+	if e.cfg.OnResult != nil {
+		e.cfg.OnResult(Result{Seq: p.hdr.seq, RID: p.hdr.rid, Expired: p.hdr.expired, Pairs: pairs})
+	}
+}

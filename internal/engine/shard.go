@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"terids/internal/core"
+	"terids/internal/grid"
+	"terids/internal/metrics"
+)
+
+// shardCmd is one arrival's work for one shard, delivered in submission
+// order over the shard's FIFO channel: evict the expired residents, resolve
+// the query against the local partition, then (for home shards) insert it.
+type shardCmd struct {
+	it      *item
+	removes []string
+	insert  bool
+}
+
+// shardPair is one emitted pair tagged with the candidate's global arrival
+// sequence, the merge key that restores the Processor's emission order.
+type shardPair struct {
+	pair    core.Pair
+	candSeq int64
+}
+
+// partial is one shard's result slice for one arrival.
+type partial struct {
+	seq   int64
+	pairs []shardPair
+}
+
+// shard is one worker goroutine's state: a grid partition plus the global
+// arrival sequence of each resident (for cross-shard deterministic merging).
+type shard struct {
+	id    int
+	e     *Engine
+	grid  *grid.Grid
+	seqOf map[string]int64 // resident RID -> global arrival seq
+
+	// residents/resolved are read by Stats() while the worker runs.
+	residents atomic.Int64
+	resolved  atomic.Int64
+}
+
+func newShard(id int, e *Engine, g *grid.Grid) *shard {
+	return &shard{id: id, e: e, grid: g, seqOf: make(map[string]int64)}
+}
+
+// run processes the shard's command stream until it closes or the engine
+// fails. All grid state is confined to this goroutine.
+func (s *shard) run() {
+	defer s.e.shardWG.Done()
+	step := s.e.step
+	for cmd := range s.e.shardCh[s.id] {
+		var ps metrics.PruneStats
+		var sw metrics.Stopwatch
+		sw.Start()
+		for _, rid := range cmd.removes {
+			if s.grid.Remove(rid) {
+				delete(s.seqOf, rid)
+				s.residents.Add(-1)
+			}
+		}
+		q := cmd.it.prof.prof
+		pairs := step.Resolve(s.grid, q, &ps)
+		out := make([]shardPair, 0, len(pairs))
+		qRID := cmd.it.rec.RID
+		for _, p := range pairs {
+			cand := p.A.RID
+			if cand == qRID {
+				cand = p.B.RID
+			}
+			out = append(out, shardPair{pair: p, candSeq: s.seqOf[cand]})
+		}
+		if cmd.insert {
+			if err := s.grid.Insert(&grid.Entry{Rec: cmd.it.rec, Prof: q}); err != nil {
+				s.e.fail(err)
+				return
+			}
+			s.seqOf[qRID] = cmd.it.seq
+			s.residents.Add(1)
+		}
+		s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: sw.Lap()}, Prune: ps})
+		s.resolved.Add(1)
+		select {
+		case s.e.partials <- partial{seq: cmd.it.seq, pairs: out}:
+		case <-s.e.ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package engine
+
+import "terids/internal/metrics"
+
+// ShardStats is one shard worker's live counters.
+type ShardStats struct {
+	// Shard is the partition index.
+	Shard int `json:"shard"`
+	// Residents is the number of tuples currently in this partition.
+	// Broadcast-resident tuples count once per hosting shard.
+	Residents int64 `json:"residents"`
+	// Resolved counts arrivals this shard has resolved against its
+	// partition.
+	Resolved int64 `json:"resolved"`
+}
+
+// Stats is a point-in-time view of the engine, safe to read while the
+// pipeline runs. Breakdown durations are summed across workers, so they
+// measure CPU time, not wall clock. Pruning counters are summed over
+// shard-local resolves: partitioning changes where cell-level pruning
+// lands, and broadcast-resident tuples are counted once per hosting shard,
+// so the percentages are diagnostics of this engine's work — not the
+// single-grid Figure 4 attribution (run the Processor for that).
+type Stats struct {
+	Shards    int   `json:"shards"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	// Rejected counts arrivals dropped as duplicate live RIDs (included in
+	// Completed).
+	Rejected  int64          `json:"rejected"`
+	LivePairs int            `json:"live_pairs"`
+	Totals    metrics.Totals `json:"totals"`
+	PerShard  []ShardStats   `json:"per_shard"`
+	// QueueLen is the current ingest queue occupancy (of QueueDepth).
+	QueueLen   int `json:"queue_len"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Stats aggregates the per-stage and per-shard counters. It never blocks
+// on the submission path, so it stays responsive under overload.
+func (e *Engine) Stats() Stats {
+	submitted := e.seq.Load()
+	e.resultsMu.RLock()
+	completed, rejected := e.completed, e.rejected
+	e.resultsMu.RUnlock()
+	st := Stats{
+		Shards:     e.cfg.Shards,
+		Submitted:  submitted,
+		Completed:  completed,
+		Rejected:   rejected,
+		LivePairs:  e.ResultCount(),
+		Totals:     e.acc.Snapshot(),
+		QueueLen:   len(e.imputeIn),
+		QueueDepth: e.cfg.QueueDepth,
+	}
+	for _, s := range e.shards {
+		st.PerShard = append(st.PerShard, ShardStats{
+			Shard:     s.id,
+			Residents: s.residents.Load(),
+			Resolved:  s.resolved.Load(),
+		})
+	}
+	return st
+}

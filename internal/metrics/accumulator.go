@@ -1,0 +1,55 @@
+package metrics
+
+import "sync"
+
+// Totals is a mergeable snapshot of online work: the Figure 6 cost
+// breakdown, the Figure 4 pruning counters, and throughput counts. Shard
+// workers produce Totals deltas; aggregation is component-wise addition.
+type Totals struct {
+	Breakdown Breakdown
+	Prune     PruneStats
+	// Tuples counts arrivals fully processed.
+	Tuples int64
+	// Pairs counts result pairs emitted (after cross-shard dedup).
+	Pairs int64
+}
+
+// Add folds o into t component-wise.
+func (t *Totals) Add(o Totals) {
+	t.Breakdown.Add(o.Breakdown)
+	t.Prune.Add(o.Prune)
+	t.Tuples += o.Tuples
+	t.Pairs += o.Pairs
+}
+
+// Accumulator is a concurrency-safe Totals: many writers (per-shard and
+// per-stage workers) fold deltas in while readers (stats endpoints) take
+// consistent snapshots. The zero value is ready to use.
+type Accumulator struct {
+	mu sync.Mutex
+	t  Totals
+}
+
+// Add folds a delta in.
+func (a *Accumulator) Add(delta Totals) {
+	a.mu.Lock()
+	a.t.Add(delta)
+	a.mu.Unlock()
+}
+
+// AddBreakdown folds in a cost-only delta.
+func (a *Accumulator) AddBreakdown(b Breakdown) {
+	a.Add(Totals{Breakdown: b})
+}
+
+// AddPrune folds in a pruning-counter delta.
+func (a *Accumulator) AddPrune(p PruneStats) {
+	a.Add(Totals{Prune: p})
+}
+
+// Snapshot returns a consistent copy of the accumulated totals.
+func (a *Accumulator) Snapshot() Totals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.t
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTotalsAdd(t *testing.T) {
+	var tot Totals
+	tot.Add(Totals{
+		Breakdown: Breakdown{Select: time.Millisecond, Impute: 2 * time.Millisecond, ER: 3 * time.Millisecond},
+		Prune:     PruneStats{Considered: 10, Topic: 4, SimUB: 3, Refined: 3},
+		Tuples:    5,
+		Pairs:     2,
+	})
+	tot.Add(Totals{Prune: PruneStats{Considered: 5, InstPair: 5}, Tuples: 1})
+	if tot.Prune.Considered != 15 || tot.Prune.Topic != 4 || tot.Prune.InstPair != 5 {
+		t.Fatalf("prune counters not additive: %+v", tot.Prune)
+	}
+	if tot.Tuples != 6 || tot.Pairs != 2 {
+		t.Fatalf("throughput counters not additive: %+v", tot)
+	}
+	if tot.Breakdown.Total() != 6*time.Millisecond {
+		t.Fatalf("breakdown total %v", tot.Breakdown.Total())
+	}
+}
+
+// TestAccumulatorConcurrent exercises the engine's usage: many workers
+// folding deltas while a reader snapshots. Run under -race in CI.
+func TestAccumulatorConcurrent(t *testing.T) {
+	var acc Accumulator
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = acc.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				acc.Add(Totals{Tuples: 1, Prune: PruneStats{Considered: 2}})
+				acc.AddBreakdown(Breakdown{ER: time.Microsecond})
+				acc.AddPrune(PruneStats{Refined: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	got := acc.Snapshot()
+	if got.Tuples != workers*perWorker {
+		t.Fatalf("tuples %d, want %d", got.Tuples, workers*perWorker)
+	}
+	if got.Prune.Considered != 2*workers*perWorker || got.Prune.Refined != workers*perWorker {
+		t.Fatalf("prune counters %+v", got.Prune)
+	}
+	if got.Breakdown.ER != workers*perWorker*time.Microsecond {
+		t.Fatalf("breakdown ER %v", got.Breakdown.ER)
+	}
+}
