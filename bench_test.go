@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"terids/internal/dataset"
 	"terids/internal/engine"
 	"terids/internal/experiments"
+	"terids/internal/snapshot"
 	"terids/internal/tuple"
 )
 
@@ -228,6 +230,58 @@ func BenchmarkProcessorBaseline(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkSnapshotRoundtrip measures the checkpoint subsystem end to end:
+// barrier-checkpoint a loaded engine, encode to the binary format, decode,
+// and rebuild a fresh engine from it. It reports the checkpoint size
+// (ckpt_bytes) alongside the roundtrip latency, so the perf trajectory of
+// both restore cost and on-disk footprint is tracked PR-over-PR.
+func BenchmarkSnapshotRoundtrip(b *testing.B) {
+	f := loadEngineFixture(b)
+	eng, err := engine.New(f.sh, engine.Config{Core: f.cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for _, r := range f.stream {
+		if err := eng.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Drain before timing: the first Checkpoint otherwise waits out the
+	// whole submitted stream and the b.N=1 CI smoke run would measure
+	// engine throughput instead of the snapshot roundtrip.
+	if _, err := eng.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	var bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := eng.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Encode(&buf, c); err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = buf.Len()
+		c2, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		restored, err := engine.NewFromSnapshot(f.sh, engine.Config{Core: f.cfg, Shards: 4}, c2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := restored.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytesOut), "ckpt_bytes")
 }
 
 // BenchmarkEngineShards measures sharded engine throughput at K ∈

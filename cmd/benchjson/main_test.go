@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: terids
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkProcessorBaseline 	       1	  53197897 ns/op	  7519 tuples/s	27305688 B/op	  319762 allocs/op
+BenchmarkEngineShards/4-8         	       1	  14799151 ns/op	 27028 tuples/s	28455344 B/op	  327699 allocs/op
+BenchmarkSnapshotRoundtrip 	       1	  43601362 ns/op	     36818 ckpt_bytes	 4658832 B/op	   52021 allocs/op
+PASS
+ok  	terids	0.293s
+`
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkEngineShards/4-8 1 14799151 ns/op 27028 tuples/s")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if res.Name != "EngineShards/4" || res.Procs != 8 || res.Runs != 1 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.Metrics["ns/op"] != 14799151 || res.Metrics["tuples/s"] != 27028 {
+		t.Fatalf("metrics %v", res.Metrics)
+	}
+
+	if _, ok := parseLine("ok  	terids	0.293s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Fatal("PASS accepted")
+	}
+}
+
+func TestRunProducesReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || len(rep.Pkg) != 1 {
+		t.Fatalf("header %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	if byName["SnapshotRoundtrip"].Metrics["ckpt_bytes"] != 36818 {
+		t.Fatalf("SnapshotRoundtrip metrics %v", byName["SnapshotRoundtrip"].Metrics)
+	}
+	// Lines without a -P suffix keep procs 0 ("unspecified").
+	if byName["ProcessorBaseline"].Procs != 0 {
+		t.Fatalf("ProcessorBaseline procs %d", byName["ProcessorBaseline"].Procs)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Fatalf("empty input must produce an empty results array: %s", out.String())
+	}
+}

@@ -9,44 +9,54 @@
 //
 // Endpoints:
 //
-//	POST /ingest   NDJSON arrivals {"rid","stream","seq","values":[...]}
-//	               ("-" or "" marks a missing attribute). Backpressure comes
-//	               from the engine's bounded queues: when the ingest queue is
-//	               full the server replies 429 (with Retry-After) unless the
-//	               request opts into blocking with ?wait=1.
-//	GET  /results  live NDJSON stream of per-arrival results (matches +
-//	               expirations); ?snapshot=1 returns the current entity set.
-//	GET  /stats    engine + server counters as JSON.
-//	GET  /healthz  liveness.
+//	POST /ingest    NDJSON arrivals {"rid","stream","seq","values":[...]}
+//	                ("-" or "" marks a missing attribute). Backpressure comes
+//	                from the engine's bounded queues: when the ingest queue is
+//	                full the server replies 429 (with Retry-After) unless the
+//	                request opts into blocking with ?wait=1.
+//	GET  /results   live NDJSON stream of per-arrival results (matches +
+//	                expirations); ?snapshot=1 returns the current entity set;
+//	                ?from=seq replays the retained merged results with
+//	                sequence >= seq before going live (410 Gone once seq
+//	                falls off the replay ring).
+//	POST /snapshot  barrier checkpoint of the full engine state; ?path=
+//	                writes it server-side under -checkpoint-dir (disabled
+//	                unless that flag is set), otherwise the binary
+//	                checkpoint is the response body.
+//	GET  /stats     engine + server counters as JSON.
+//	GET  /healthz   liveness.
+//
+// Operations: -restore <file> boots the engine from a checkpoint (at any
+// shard count — residency is re-derived); -checkpoint-on-exit <file> makes
+// SIGINT/SIGTERM drain the pipeline and write a final checkpoint before
+// exiting.
 //
 // Usage:
 //
 //	terids-serve -addr :8080 -dataset Citations -shards 4 -alpha 0.5 -rho 0.5
 //	curl -X POST --data-binary @arrivals.ndjson localhost:8080/ingest
 //	curl -N localhost:8080/results
+//	curl -X POST 'localhost:8080/snapshot?path=ckpt.bin'   # needs -checkpoint-dir
+//	curl -N 'localhost:8080/results?from=1000'
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"terids/internal/cliutil"
 	"terids/internal/core"
 	"terids/internal/dataset"
 	"terids/internal/engine"
-	"terids/internal/tuple"
+	"terids/internal/snapshot"
 )
 
 func main() {
@@ -54,20 +64,33 @@ func main() {
 	log.SetPrefix("terids-serve: ")
 
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		name     = flag.String("dataset", "Citations", "dataset profile bootstrapping the repository/schema")
-		alpha    = flag.Float64("alpha", 0.5, "probabilistic threshold α in [0,1)")
-		rho      = flag.Float64("rho", 0.5, "similarity ratio ρ (γ = ρ·d)")
-		w        = flag.Int("w", 200, "sliding window size")
-		streams  = flag.Int("streams", 2, "number of incoming streams")
-		eta      = flag.Float64("eta", 0.5, "repository size ratio η")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		shards   = flag.Int("shards", 0, "ER-grid shards (0 = GOMAXPROCS, max 8)")
-		queue    = flag.Int("queue", 256, "bounded queue depth per pipeline stage")
-		keywords = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		name       = flag.String("dataset", "Citations", "dataset profile bootstrapping the repository/schema")
+		alpha      = flag.Float64("alpha", 0.5, "probabilistic threshold α in [0,1)")
+		rho        = flag.Float64("rho", 0.5, "similarity ratio ρ (γ = ρ·d)")
+		w          = flag.Int("w", 200, "sliding window size")
+		streams    = flag.Int("streams", 2, "number of incoming streams")
+		eta        = flag.Float64("eta", 0.5, "repository size ratio η")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		shards     = flag.Int("shards", 0, "ER-grid shards (0 = GOMAXPROCS, max 8)")
+		queue      = flag.Int("queue", 256, "bounded queue depth per pipeline stage")
+		keywords   = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
+		replayCap  = flag.Int("replay-buffer", 4096, "merged results retained for /results?from= replay")
+		restore    = flag.String("restore", "", "boot the engine from this checkpoint file")
+		ckptOnExit = flag.String("checkpoint-on-exit", "", "drain and write a final checkpoint here on SIGINT/SIGTERM")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory /snapshot?path= may write into (empty = server-side writes disabled)")
 	)
 	flag.Parse()
+	if err := (cliutil.Params{
+		Alpha: *alpha, Rho: *rho, W: *w, Streams: *streams, Shards: *shards,
+		Queue: *queue, Scale: *scale, Eta: *eta, Xi: 0.3,
+	}).Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *replayCap < 1 {
+		log.Fatalf("-replay-buffer %d, need >= 1", *replayCap)
+	}
 
 	prof, err := dataset.ProfileByName(*name)
 	if err != nil {
@@ -90,31 +113,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &server{schema: sh.Schema, done: make(chan struct{})}
-	eng, err := engine.New(sh, engine.Config{
+	var ckpt *snapshot.Checkpoint
+	if *restore != "" {
+		ckpt, err = snapshot.ReadFile(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restoring %s: watermark %d, %d residents, %d live pairs (captured at K=%d)",
+			*restore, ckpt.Seq, len(ckpt.Residents), len(ckpt.Pairs), ckpt.Shards)
+	}
+
+	ringBase := int64(0)
+	if ckpt != nil {
+		ringBase = ckpt.Seq
+	}
+	srv := newServer(sh.Schema, *replayCap, ringBase, *ckptDir)
+	engCfg := engine.Config{
 		Core: core.Config{
 			Keywords: kws, Gamma: *rho * float64(sh.Schema.D()), Alpha: *alpha,
 			WindowSize: *w, Streams: *streams,
 		},
 		Shards:     *shards,
 		QueueDepth: *queue,
-		OnResult:   srv.broadcast,
-	})
+		OnResult:   srv.onResult,
+	}
+	var eng *engine.Engine
+	if ckpt != nil {
+		eng, err = engine.NewFromSnapshot(sh, engCfg, ckpt)
+	} else {
+		eng, err = engine.New(sh, engCfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.eng = eng
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", srv.handleIngest)
-	mux.HandleFunc("GET /results", srv.handleResults)
-	mux.HandleFunc("GET /stats", srv.handleStats)
-	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.WriteHeader(http.StatusOK)
-		fmt.Fprintln(rw, "ok")
-	})
-
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 	go func() {
 		log.Printf("listening on %s (%d shards, schema %v)", *addr, eng.Stats().Shards, sh.Schema.Attrs())
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -130,213 +164,20 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	// Close drains every accepted arrival through the pipeline, so the exit
+	// checkpoint below captures a consistent final state.
 	if err := eng.Close(); err != nil {
 		log.Fatalf("engine: %v", err)
 	}
-}
-
-// server wires the engine into HTTP handlers plus a result broadcaster.
-type server struct {
-	eng    *engine.Engine
-	schema *tuple.Schema
-	// done is closed on shutdown so idle /results streams exit instead of
-	// pinning http.Server.Shutdown to its deadline.
-	done chan struct{}
-
-	mu      sync.Mutex
-	subs    map[chan engine.Result]struct{}
-	dropped atomic.Int64
-	autoSeq atomic.Int64
-}
-
-// arrival is one /ingest NDJSON line.
-type arrival struct {
-	RID    string   `json:"rid"`
-	Stream int      `json:"stream"`
-	Seq    *int64   `json:"seq,omitempty"`
-	Values []string `json:"values"`
-}
-
-// resultLine is one /results NDJSON line.
-type resultLine struct {
-	Seq      int64      `json:"seq"`
-	RID      string     `json:"rid"`
-	Rejected bool       `json:"rejected,omitempty"`
-	Expired  []string   `json:"expired,omitempty"`
-	Pairs    []pairLine `json:"pairs"`
-}
-
-type pairLine struct {
-	A    string  `json:"a"`
-	B    string  `json:"b"`
-	Prob float64 `json:"prob"`
-}
-
-func toLine(res engine.Result) resultLine {
-	line := resultLine{Seq: res.Seq, RID: res.RID, Rejected: res.Rejected, Expired: res.Expired, Pairs: []pairLine{}}
-	for _, p := range res.Pairs {
-		line.Pairs = append(line.Pairs, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
-	}
-	return line
-}
-
-// broadcast fans one engine result out to all /results subscribers without
-// ever blocking the merger: slow subscribers drop.
-func (s *server) broadcast(res engine.Result) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for ch := range s.subs {
-		select {
-		case ch <- res:
-		default:
-			s.dropped.Add(1)
-		}
-	}
-}
-
-func (s *server) subscribe() chan engine.Result {
-	ch := make(chan engine.Result, 256)
-	s.mu.Lock()
-	if s.subs == nil {
-		s.subs = make(map[chan engine.Result]struct{})
-	}
-	s.subs[ch] = struct{}{}
-	s.mu.Unlock()
-	return ch
-}
-
-func (s *server) unsubscribe(ch chan engine.Result) {
-	s.mu.Lock()
-	delete(s.subs, ch)
-	s.mu.Unlock()
-}
-
-// handleIngest parses NDJSON arrivals and submits them in request order.
-func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
-	wait := req.URL.Query().Get("wait") == "1"
-	sc := bufio.NewScanner(req.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	accepted := 0
-	lineNo := 0
-	reply := func(status int, msg string) {
-		rw.Header().Set("Content-Type", "application/json")
-		if status == http.StatusTooManyRequests {
-			rw.Header().Set("Retry-After", "1")
-		}
-		rw.WriteHeader(status)
-		_ = json.NewEncoder(rw).Encode(map[string]any{
-			"accepted": accepted, "line": lineNo, "error": msg,
-		})
-	}
-	for sc.Scan() {
-		lineNo++
-		raw := strings.TrimSpace(sc.Text())
-		if raw == "" {
-			continue
-		}
-		var a arrival
-		if err := json.Unmarshal([]byte(raw), &a); err != nil {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
-			return
-		}
-		if a.RID == "" {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
-			return
-		}
-		seq := s.autoSeq.Add(1)
-		if a.Seq != nil {
-			seq = *a.Seq
-		}
-		rec, err := tuple.NewRecord(s.schema, a.RID, a.Stream, seq, a.Values)
+	if *ckptOnExit != "" {
+		c, err := eng.Checkpoint()
 		if err != nil {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
-			return
+			log.Fatalf("final checkpoint: %v", err)
 		}
-		if wait {
-			err = s.eng.Submit(rec)
-		} else {
-			err = s.eng.TrySubmit(rec)
+		if err := snapshot.WriteFile(*ckptOnExit, c); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
 		}
-		switch {
-		case errors.Is(err, engine.ErrOverloaded):
-			reply(http.StatusTooManyRequests, "ingest queue full")
-			return
-		case errors.Is(err, engine.ErrInvalidRecord):
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
-			return
-		case err != nil:
-			reply(http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		accepted++
+		log.Printf("wrote final checkpoint %s (watermark %d, %d residents, %d live pairs)",
+			*ckptOnExit, c.Seq, len(c.Residents), len(c.Pairs))
 	}
-	if err := sc.Err(); err != nil {
-		reply(http.StatusBadRequest, err.Error())
-		return
-	}
-	reply(http.StatusOK, "")
-}
-
-// handleResults streams live per-arrival results as NDJSON; ?snapshot=1
-// returns the current entity set instead.
-func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
-	if req.URL.Query().Get("snapshot") == "1" {
-		pairs := s.eng.ResultSet()
-		out := make([]pairLine, 0, len(pairs))
-		for _, p := range pairs {
-			out = append(out, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
-		}
-		rw.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(rw).Encode(map[string]any{"live_pairs": out})
-		return
-	}
-	fl, ok := rw.(http.Flusher)
-	if !ok {
-		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	ch := s.subscribe()
-	defer s.unsubscribe(ch)
-	rw.Header().Set("Content-Type", "application/x-ndjson")
-	rw.WriteHeader(http.StatusOK)
-	fl.Flush()
-	enc := json.NewEncoder(rw)
-	for {
-		select {
-		case res := <-ch:
-			if err := enc.Encode(toLine(res)); err != nil {
-				return
-			}
-			fl.Flush()
-		case <-req.Context().Done():
-			return
-		case <-s.done:
-			return
-		}
-	}
-}
-
-// handleStats reports aggregated engine stats plus server-side counters.
-func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
-	st := s.eng.Stats()
-	s.mu.Lock()
-	nSubs := len(s.subs)
-	s.mu.Unlock()
-	topic, simUB, probUB, instPair, total := st.Totals.Prune.Power()
-	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(map[string]any{
-		"engine": st,
-		"breakdown": map[string]any{
-			"select_ns": st.Totals.Breakdown.Select.Nanoseconds(),
-			"impute_ns": st.Totals.Breakdown.Impute.Nanoseconds(),
-			"er_ns":     st.Totals.Breakdown.ER.Nanoseconds(),
-			"total_ns":  st.Totals.Breakdown.Total().Nanoseconds(),
-		},
-		"prune_power": map[string]float64{
-			"topic": topic, "sim_ub": simUB, "prob_ub": probUB,
-			"inst_pair": instPair, "total": total,
-		},
-		"subscribers":     nSubs,
-		"dropped_results": s.dropped.Load(),
-	})
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"sync"
+
+	"terids/internal/engine"
+)
+
+// resultRing is the bounded in-memory replay buffer behind /results?from=:
+// the last cap merged results, keyed by merge sequence. The merger emits
+// exactly one result per sequence number, in consecutive order starting at
+// the engine's start sequence, so the ring indexes by seq modulo capacity
+// and retains the window [next-n, next).
+type resultRing struct {
+	mu   sync.Mutex
+	buf  []engine.Result
+	base int64 // engine start sequence: results before it never existed here
+	next int64 // sequence after the newest retained result
+	n    int   // retained count, <= len(buf)
+}
+
+func newResultRing(capacity int, base int64) *resultRing {
+	return &resultRing{buf: make([]engine.Result, capacity), base: base, next: base}
+}
+
+// add retains one merged result. Called from the engine's OnResult (the
+// merger goroutine), so it must stay O(1).
+func (r *resultRing) add(res engine.Result) {
+	r.mu.Lock()
+	r.buf[res.Seq%int64(len(r.buf))] = res
+	r.next = res.Seq + 1
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// since returns the retained results with sequence >= from, in order. gone
+// reports that results in [from, oldest) are no longer available — evicted
+// from the ring, or produced before this process started (e.g. before a
+// checkpoint restore) — so an exact replay from `from` is impossible.
+func (r *resultRing) since(from int64) (out []engine.Result, gone bool, oldest int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest = r.next - int64(r.n)
+	if oldest < r.base {
+		oldest = r.base
+	}
+	if from < oldest {
+		return nil, true, oldest
+	}
+	for seq := from; seq < r.next; seq++ {
+		out = append(out, r.buf[seq%int64(len(r.buf))])
+	}
+	return out, false, oldest
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"terids/internal/engine"
+)
+
+func res(seq int64) engine.Result {
+	return engine.Result{Seq: seq, RID: fmt.Sprintf("r%d", seq)}
+}
+
+func TestRingSinceEmpty(t *testing.T) {
+	r := newResultRing(4, 0)
+	out, gone, oldest := r.since(0)
+	if gone || len(out) != 0 || oldest != 0 {
+		t.Fatalf("empty ring: out=%v gone=%v oldest=%d", out, gone, oldest)
+	}
+}
+
+func TestRingRetainsTail(t *testing.T) {
+	r := newResultRing(4, 0)
+	for seq := int64(0); seq < 10; seq++ {
+		r.add(res(seq))
+	}
+	// Ring of 4 after 10 results retains [6, 10).
+	if out, gone, _ := r.since(6); gone || len(out) != 4 || out[0].Seq != 6 || out[3].Seq != 9 {
+		t.Fatalf("since(6): out=%v gone=%v", out, gone)
+	}
+	if out, gone, _ := r.since(8); gone || len(out) != 2 || out[0].Seq != 8 {
+		t.Fatalf("since(8): out=%v gone=%v", out, gone)
+	}
+	// Older than the tail: gone, reporting the oldest retained.
+	if _, gone, oldest := r.since(5); !gone || oldest != 6 {
+		t.Fatalf("since(5): gone=%v oldest=%d, want gone at 6", gone, oldest)
+	}
+	// Future: nothing yet, not gone.
+	if out, gone, _ := r.since(10); gone || len(out) != 0 {
+		t.Fatalf("since(10): out=%v gone=%v", out, gone)
+	}
+}
+
+func TestRingBaseAfterRestore(t *testing.T) {
+	// A server restored at watermark 100 never saw results 0..99.
+	r := newResultRing(8, 100)
+	for seq := int64(100); seq < 103; seq++ {
+		r.add(res(seq))
+	}
+	if _, gone, oldest := r.since(50); !gone || oldest != 100 {
+		t.Fatalf("pre-restore seqs must be gone: gone=%v oldest=%d", gone, oldest)
+	}
+	if out, gone, _ := r.since(100); gone || len(out) != 3 {
+		t.Fatalf("since(100): out=%v gone=%v", out, gone)
+	}
+}

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"terids/internal/engine"
+	"terids/internal/snapshot"
+	"terids/internal/tuple"
+)
+
+// server wires the engine into HTTP handlers, a live result broadcaster,
+// and the bounded replay ring behind /results?from=.
+type server struct {
+	eng    *engine.Engine
+	schema *tuple.Schema
+	ring   *resultRing
+	// ckptDir, when non-empty, is the only directory /snapshot?path= may
+	// write into; empty disables server-side checkpoint writes entirely
+	// (the endpoint is unauthenticated, so it must never take an arbitrary
+	// client-chosen filesystem path).
+	ckptDir string
+	// done is closed on shutdown so idle /results streams exit instead of
+	// pinning http.Server.Shutdown to its deadline.
+	done chan struct{}
+
+	mu      sync.Mutex
+	subs    map[chan engine.Result]struct{}
+	dropped atomic.Int64
+	autoSeq atomic.Int64
+}
+
+// newServer builds the server shell; the engine is attached afterwards
+// (its OnResult must point at s.onResult, which needs s to exist first).
+func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string) *server {
+	return &server{
+		schema:  schema,
+		ring:    newResultRing(ringCap, ringBase),
+		ckptDir: ckptDir,
+		done:    make(chan struct{}),
+	}
+}
+
+// routes registers every endpoint.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// arrival is one /ingest NDJSON line.
+type arrival struct {
+	RID    string   `json:"rid"`
+	Stream int      `json:"stream"`
+	Seq    *int64   `json:"seq,omitempty"`
+	Values []string `json:"values"`
+}
+
+// resultLine is one /results NDJSON line.
+type resultLine struct {
+	Seq      int64      `json:"seq"`
+	RID      string     `json:"rid"`
+	Rejected bool       `json:"rejected,omitempty"`
+	Expired  []string   `json:"expired,omitempty"`
+	Pairs    []pairLine `json:"pairs"`
+}
+
+type pairLine struct {
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	Prob float64 `json:"prob"`
+}
+
+func toLine(res engine.Result) resultLine {
+	line := resultLine{Seq: res.Seq, RID: res.RID, Rejected: res.Rejected, Expired: res.Expired, Pairs: []pairLine{}}
+	for _, p := range res.Pairs {
+		line.Pairs = append(line.Pairs, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
+	}
+	return line
+}
+
+// onResult is the engine's result sink: retain for replay first, then fan
+// out to live subscribers — the order /results?from= relies on to splice
+// ring and live stream without a gap.
+func (s *server) onResult(res engine.Result) {
+	s.ring.add(res)
+	s.broadcast(res)
+}
+
+// broadcast fans one engine result out to all /results subscribers without
+// ever blocking the merger: slow subscribers drop.
+func (s *server) broadcast(res engine.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.subs {
+		select {
+		case ch <- res:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+func (s *server) subscribe() chan engine.Result {
+	ch := make(chan engine.Result, 256)
+	s.mu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[chan engine.Result]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *server) unsubscribe(ch chan engine.Result) {
+	s.mu.Lock()
+	delete(s.subs, ch)
+	s.mu.Unlock()
+}
+
+// handleIngest parses NDJSON arrivals and submits them in request order.
+func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
+	wait := req.URL.Query().Get("wait") == "1"
+	sc := bufio.NewScanner(req.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	accepted := 0
+	lineNo := 0
+	reply := func(status int, msg string) {
+		rw.Header().Set("Content-Type", "application/json")
+		if status == http.StatusTooManyRequests {
+			rw.Header().Set("Retry-After", "1")
+		}
+		rw.WriteHeader(status)
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"accepted": accepted, "line": lineNo, "error": msg,
+		})
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var a arrival
+		if err := json.Unmarshal([]byte(raw), &a); err != nil {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		}
+		if a.RID == "" {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
+			return
+		}
+		seq := s.autoSeq.Add(1)
+		if a.Seq != nil {
+			seq = *a.Seq
+		}
+		rec, err := tuple.NewRecord(s.schema, a.RID, a.Stream, seq, a.Values)
+		if err != nil {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		}
+		if wait {
+			err = s.eng.Submit(rec)
+		} else {
+			err = s.eng.TrySubmit(rec)
+		}
+		switch {
+		case errors.Is(err, engine.ErrOverloaded):
+			reply(http.StatusTooManyRequests, "ingest queue full")
+			return
+		case errors.Is(err, engine.ErrInvalidRecord):
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			return
+		case err != nil:
+			reply(http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		reply(http.StatusBadRequest, err.Error())
+		return
+	}
+	reply(http.StatusOK, "")
+}
+
+// handleResults streams per-arrival results as NDJSON. Modes:
+//
+//	?snapshot=1  the current entity set, one JSON object
+//	?from=seq    replay the retained merged results with sequence >= seq
+//	             from the ring, then continue live (410 Gone when seq is
+//	             older than the ring's tail — exact replay impossible)
+//	(default)    live results from now on
+func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("snapshot") == "1" {
+		pairs := s.eng.ResultSet()
+		out := make([]pairLine, 0, len(pairs))
+		for _, p := range pairs {
+			out = append(out, pairLine{A: p.A.RID, B: p.B.RID, Prob: p.Prob})
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{"live_pairs": out})
+		return
+	}
+	replay := false
+	var from int64
+	if fromStr := req.URL.Query().Get("from"); fromStr != "" {
+		v, err := strconv.ParseInt(fromStr, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(rw, fmt.Sprintf("bad from=%q: non-negative integer required", fromStr),
+				http.StatusBadRequest)
+			return
+		}
+		replay, from = true, v
+	}
+	fl, ok := rw.(http.Flusher)
+	if !ok {
+		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// Subscribe before the first ring read: onResult adds to the ring before
+	// broadcasting, so a broadcast on the channel implies its result (and
+	// everything before it) is readable from the ring.
+	ch := s.subscribe()
+	defer s.unsubscribe(ch)
+	enc := json.NewEncoder(rw)
+	if replay {
+		// Ring-paced streaming: results are always read from the ring
+		// (gapless by construction, in sequence order, never below the
+		// cursor); the subscription only signals that new results exist.
+		// Dropped broadcast signals are harmless — the drop implies the
+		// channel holds 256 newer wake-ups, and every drain re-reads the
+		// ring from the cursor.
+		cursor := from
+		started := false
+		for {
+			past, gone, oldest := s.ring.since(cursor)
+			if gone {
+				if !started {
+					// No byte written yet: a clean 410.
+					rw.Header().Set("Content-Type", "application/json")
+					rw.WriteHeader(http.StatusGone)
+					_ = json.NewEncoder(rw).Encode(map[string]any{
+						"error":           fmt.Sprintf("results before seq %d are no longer retained", oldest),
+						"oldest_retained": oldest,
+					})
+				}
+				// Evicted mid-stream: terminate; the client's re-request
+				// from its cursor yields the 410 above.
+				return
+			}
+			if !started {
+				started = true
+				rw.Header().Set("Content-Type", "application/x-ndjson")
+				rw.WriteHeader(http.StatusOK)
+				fl.Flush()
+			}
+			for _, res := range past {
+				if err := enc.Encode(toLine(res)); err != nil {
+					return
+				}
+				cursor = res.Seq + 1
+			}
+			if len(past) > 0 {
+				fl.Flush()
+			}
+			select {
+			case <-ch:
+				for { // drain pending wake-ups, then re-read the ring once
+					select {
+					case <-ch:
+						continue
+					default:
+					}
+					break
+				}
+			case <-req.Context().Done():
+				return
+			case <-s.done:
+				return
+			}
+		}
+	}
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case res := <-ch:
+			if err := enc.Encode(toLine(res)); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// handleSnapshot takes a barrier checkpoint of the running engine. With
+// ?path=, the checkpoint is written server-side (atomically) and metadata
+// returned; without, the binary checkpoint streams back as the body.
+func (s *server) handleSnapshot(rw http.ResponseWriter, req *http.Request) {
+	// Validate the destination before the barrier: a doomed request must
+	// not get to pause intake and drain the pipeline first.
+	var path string
+	if name := req.URL.Query().Get("path"); name != "" {
+		p, err := s.checkpointPath(name)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusForbidden)
+			return
+		}
+		path = p
+	}
+	c, err := s.eng.Checkpoint()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if path != "" {
+		if err := snapshot.WriteFile(path, c); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"path": path, "seq": c.Seq, "residents": len(c.Residents), "pairs": len(c.Pairs),
+		})
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="terids-seq%d.ckpt"`, c.Seq))
+	if err := snapshot.Encode(rw, c); err != nil {
+		// Headers are gone; the truncated body fails the client's checksum.
+		return
+	}
+}
+
+// checkpointPath resolves a client-supplied checkpoint name inside the
+// configured checkpoint directory, rejecting anything that would escape it.
+func (s *server) checkpointPath(name string) (string, error) {
+	if s.ckptDir == "" {
+		return "", errors.New("server-side checkpoint writes disabled (start with -checkpoint-dir)")
+	}
+	if filepath.IsAbs(name) {
+		return "", errors.New("checkpoint path must be relative to the checkpoint directory")
+	}
+	clean := filepath.Clean(name)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", errors.New("checkpoint path escapes the checkpoint directory")
+	}
+	return filepath.Join(s.ckptDir, clean), nil
+}
+
+// handleStats reports aggregated engine stats plus server-side counters.
+func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	s.mu.Lock()
+	nSubs := len(s.subs)
+	s.mu.Unlock()
+	topic, simUB, probUB, instPair, total := st.Totals.Prune.Power()
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"engine": st,
+		"breakdown": map[string]any{
+			"select_ns": st.Totals.Breakdown.Select.Nanoseconds(),
+			"impute_ns": st.Totals.Breakdown.Impute.Nanoseconds(),
+			"er_ns":     st.Totals.Breakdown.ER.Nanoseconds(),
+			"total_ns":  st.Totals.Breakdown.Total().Nanoseconds(),
+		},
+		"prune_power": map[string]float64{
+			"topic": topic, "sim_ub": simUB, "prob_ub": probUB,
+			"inst_pair": instPair, "total": total,
+		},
+		"subscribers":     nSubs,
+		"dropped_results": s.dropped.Load(),
+	})
+}

@@ -1,0 +1,407 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/dataset"
+	"terids/internal/engine"
+	"terids/internal/snapshot"
+	"terids/internal/tuple"
+)
+
+type serveFixture struct {
+	sh     *core.Shared
+	cfg    core.Config
+	stream []*tuple.Record
+}
+
+var (
+	serveFixOnce sync.Once
+	serveFix     serveFixture
+	serveFixErr  error
+)
+
+func loadServeFixture(t *testing.T) serveFixture {
+	t.Helper()
+	serveFixOnce.Do(func() {
+		prof, err := dataset.ProfileByName("Citations")
+		if err != nil {
+			serveFixErr = err
+			return
+		}
+		data, err := dataset.Generate(prof, dataset.Options{
+			Scale: 0.25, MissingRate: 0.3, MissingAttrs: 1, RepoRatio: 0.5, Seed: 7,
+		})
+		if err != nil {
+			serveFixErr = err
+			return
+		}
+		sh, err := core.Prepare(data.Repo, core.DefaultPrepareConfig(data.Keywords))
+		if err != nil {
+			serveFixErr = err
+			return
+		}
+		stream := data.Stream
+		if len(stream) > 200 {
+			stream = stream[:200]
+		}
+		serveFix = serveFixture{
+			sh: sh,
+			cfg: core.Config{
+				Keywords:   data.Keywords,
+				Gamma:      0.5 * float64(data.Schema.D()),
+				Alpha:      0.4,
+				WindowSize: 50,
+				Streams:    2,
+			},
+			stream: stream,
+		}
+	})
+	if serveFixErr != nil {
+		t.Fatalf("serve fixture: %v", serveFixErr)
+	}
+	return serveFix
+}
+
+// startServer builds a server + engine pair (optionally from a checkpoint)
+// and registers cleanup.
+func startServer(t *testing.T, f serveFixture, shards, ringCap int, ckpt *snapshot.Checkpoint) (*server, *httptest.Server) {
+	t.Helper()
+	ringBase := int64(0)
+	if ckpt != nil {
+		ringBase = ckpt.Seq
+	}
+	srv := newServer(f.sh.Schema, ringCap, ringBase, t.TempDir())
+	cfg := engine.Config{Core: f.cfg, Shards: shards, OnResult: srv.onResult}
+	var eng *engine.Engine
+	var err error
+	if ckpt != nil {
+		eng, err = engine.NewFromSnapshot(f.sh, cfg, ckpt)
+	} else {
+		eng, err = engine.New(f.sh, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.eng = eng
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(func() {
+		close(srv.done)
+		ts.Close()
+		_ = eng.Close()
+	})
+	return srv, ts
+}
+
+func ndjson(t *testing.T, recs []*tuple.Record) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range recs {
+		vals := make([]string, r.D())
+		for j := range vals {
+			vals[j] = r.Value(j)
+		}
+		line, err := json.Marshal(map[string]any{
+			"rid": r.RID, "stream": r.Stream, "seq": r.Seq, "values": vals,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ingest(t *testing.T, ts *httptest.Server, recs []*tuple.Record) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest?wait=1", "application/x-ndjson",
+		strings.NewReader(ndjson(t, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out.Accepted != len(recs) {
+		t.Fatalf("ingest: status %d accepted %d (%s), want 200/%d",
+			resp.StatusCode, out.Accepted, out.Error, len(recs))
+	}
+}
+
+// readResults streams /results?from= and returns the first n lines.
+func readResults(t *testing.T, ts *httptest.Server, query string, n int) []resultLine {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/results"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /results%s: status %d", query, resp.StatusCode)
+	}
+	var out []resultLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for len(out) < n && sc.Scan() {
+		var line resultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad result line %q: %v", sc.Text(), err)
+		}
+		out = append(out, line)
+	}
+	if len(out) < n {
+		t.Fatalf("stream ended after %d lines, want %d (scan err %v)", len(out), n, sc.Err())
+	}
+	return out
+}
+
+// TestServeReplayAndSnapshotRestore is the end-to-end operations flow:
+// ingest half the stream, replay it exactly from sequence numbers via
+// /results?from=, take a barrier checkpoint over HTTP, restore it into a
+// second server at a different shard count, finish the stream there, and
+// check the final entity set matches an uninterrupted single-threaded run.
+func TestServeReplayAndSnapshotRestore(t *testing.T) {
+	f := loadServeFixture(t)
+	mid := len(f.stream) / 2
+
+	_, ts := startServer(t, f, 2, 4096, nil)
+	ingest(t, ts, f.stream[:mid])
+
+	// Barrier checkpoint over HTTP (binary body).
+	resp, err := http.Post(ts.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshot: status %d (%s)", resp.StatusCode, body.String())
+	}
+	ckpt, err := snapshot.Decode(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Seq != int64(mid) {
+		t.Fatalf("checkpoint watermark %d, want %d", ckpt.Seq, mid)
+	}
+
+	// Replay from 0: every merged result, in order, exactly once.
+	lines := readResults(t, ts, "?from=0", mid)
+	for i, line := range lines {
+		if line.Seq != int64(i) {
+			t.Fatalf("replay line %d has seq %d", i, line.Seq)
+		}
+		if line.RID != f.stream[i].RID {
+			t.Fatalf("replay seq %d: rid %s, want %s", i, line.RID, f.stream[i].RID)
+		}
+	}
+	// Replay from a mid-stream sequence.
+	tail := readResults(t, ts, fmt.Sprintf("?from=%d", mid-10), 10)
+	if tail[0].Seq != int64(mid-10) || tail[9].Seq != int64(mid-1) {
+		t.Fatalf("tail replay spans [%d,%d], want [%d,%d]", tail[0].Seq, tail[9].Seq, mid-10, mid-1)
+	}
+
+	// Restore into a fresh server at a different shard count and finish.
+	srv2, ts2 := startServer(t, f, 4, 4096, ckpt)
+	ingest(t, ts2, f.stream[mid:])
+	if _, err := srv2.eng.Checkpoint(); err != nil { // barrier = drain
+		t.Fatal(err)
+	}
+
+	// The restored server's replay starts at the restore watermark...
+	cont := readResults(t, ts2, fmt.Sprintf("?from=%d", mid), len(f.stream)-mid)
+	if cont[0].Seq != int64(mid) {
+		t.Fatalf("restored replay starts at %d, want %d", cont[0].Seq, mid)
+	}
+	// ...and pre-restore sequences are correctly reported gone.
+	goneResp, err := http.Get(ts2.URL + "/results?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer goneResp.Body.Close()
+	if goneResp.StatusCode != http.StatusGone {
+		t.Fatalf("pre-restore replay: status %d, want 410", goneResp.StatusCode)
+	}
+
+	// Final entity set equals the uninterrupted single-threaded reference.
+	proc, err := core.NewProcessor(f.sh, f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream {
+		if _, err := proc.Advance(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := proc.Results().Pairs()
+	got := srv2.eng.ResultSet()
+	if len(got) != len(want) {
+		t.Fatalf("final entity set: server %d pairs, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].A.RID != want[i].A.RID || got[i].B.RID != want[i].B.RID || got[i].Prob != want[i].Prob {
+			t.Fatalf("final pair %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestServeSnapshotToPath covers the server-side checkpoint write, confined
+// to the configured checkpoint directory.
+func TestServeSnapshotToPath(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts := startServer(t, f, 2, 64, nil)
+	ingest(t, ts, f.stream[:40])
+
+	resp, err := http.Post(ts.URL+"/snapshot?path=ckpt.bin", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var meta struct {
+		Path      string `json:"path"`
+		Seq       int64  `json:"seq"`
+		Residents int    `json:"residents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || meta.Seq != 40 {
+		t.Fatalf("snapshot?path: status %d meta %+v", resp.StatusCode, meta)
+	}
+	if meta.Path != srv.ckptDir+"/ckpt.bin" {
+		t.Fatalf("checkpoint landed at %s, want inside %s", meta.Path, srv.ckptDir)
+	}
+	c, err := snapshot.ReadFile(meta.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != 40 {
+		t.Fatalf("file watermark %d, want 40", c.Seq)
+	}
+
+	// Escapes and absolute paths are refused; so is any write when no
+	// checkpoint directory is configured.
+	for _, bad := range []string{"/etc/passwd", "../escape.bin", "a/../../escape.bin"} {
+		resp, err := http.Post(ts.URL+"/snapshot?path="+bad, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("snapshot?path=%s: status %d, want 403", bad, resp.StatusCode)
+		}
+	}
+	srv.ckptDir = ""
+	resp2, err := http.Post(ts.URL+"/snapshot?path=ckpt.bin", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("snapshot?path with no -checkpoint-dir: status %d, want 403", resp2.StatusCode)
+	}
+}
+
+// TestServeReplayEviction: a tiny ring loses old results and reports 410
+// with the oldest retained sequence.
+func TestServeReplayEviction(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts := startServer(t, f, 2, 8, nil)
+	ingest(t, ts, f.stream[:50])
+	if _, err := srv.eng.Checkpoint(); err != nil { // drain so all 50 merged
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/results?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted replay: status %d, want 410", resp.StatusCode)
+	}
+	var out struct {
+		OldestRetained int64 `json:"oldest_retained"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OldestRetained != 42 {
+		t.Fatalf("oldest_retained %d, want 42", out.OldestRetained)
+	}
+	// The retained tail still replays.
+	lines := readResults(t, ts, "?from=42", 8)
+	if lines[0].Seq != 42 || lines[7].Seq != 49 {
+		t.Fatalf("tail spans [%d,%d], want [42,49]", lines[0].Seq, lines[7].Seq)
+	}
+}
+
+// TestServeReplayFromFutureSeq: a cursor beyond the newest merged result
+// must wait for it — never stream results below the cursor.
+func TestServeReplayFromFutureSeq(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts := startServer(t, f, 2, 64, nil)
+	ingest(t, ts, f.stream[:20])
+
+	body := ndjson(t, f.stream[20:40])
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		// Results 20..39 arrive while the replay below is already waiting
+		// at cursor 25. (No test helpers here: t.Fatal is not allowed off
+		// the test goroutine.)
+		resp, err := http.Post(ts.URL+"/ingest?wait=1", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}()
+	lines := readResults(t, ts, "?from=25", 10)
+	for i, line := range lines {
+		if line.Seq != int64(25+i) {
+			t.Fatalf("line %d has seq %d, want %d (cursor must never rewind)", i, line.Seq, 25+i)
+		}
+	}
+}
+
+// TestServeBadFrom rejects malformed replay cursors.
+func TestServeBadFrom(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts := startServer(t, f, 1, 8, nil)
+	for _, q := range []string{"?from=abc", "?from=-3", "?from=1.5"} {
+		resp, err := http.Get(ts.URL + "/results" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /results%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	terids -dataset Citations -alpha 0.5 -rho 0.5 -xi 0.3 -w 200 -max 500 -v
+//
+// The run can be checkpointed and resumed: -checkpoint <file> writes the
+// final operator state when the stream ends, and -restore <file> loads a
+// checkpoint and skips the arrivals it already covers (same dataset flags
+// and seed regenerate the same stream, so the suffix lines up exactly).
 package main
 
 import (
@@ -16,10 +21,12 @@ import (
 	"strings"
 	"time"
 
+	"terids/internal/cliutil"
 	"terids/internal/core"
 	"terids/internal/dataset"
 	"terids/internal/engine"
 	"terids/internal/metrics"
+	"terids/internal/snapshot"
 )
 
 func main() {
@@ -40,8 +47,16 @@ func main() {
 		shards   = flag.Int("shards", 1, "ER-grid shards (>1 runs the concurrent engine)")
 		keywords = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
 		verbose  = flag.Bool("v", false, "print every matching pair as it is found")
+		ckptOut  = flag.String("checkpoint", "", "write the final operator state to this file when the stream ends")
+		restore  = flag.String("restore", "", "resume from a checkpoint file (skips the arrivals it covers)")
 	)
 	flag.Parse()
+	if err := (cliutil.Params{
+		Alpha: *alpha, Rho: *rho, W: *w, Streams: 2, Shards: *shards,
+		Queue: 1, Scale: *scale, Eta: *eta, Xi: *xi,
+	}).Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	prof, err := dataset.ProfileByName(*name)
 	if err != nil {
@@ -80,6 +95,25 @@ func main() {
 		stream = stream[:*max]
 	}
 	emitted := map[metrics.PairKey]bool{}
+	var ckpt *snapshot.Checkpoint
+	if *restore != "" {
+		ckpt, err = snapshot.ReadFile(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ckpt.Seq > int64(len(stream)) {
+			log.Fatalf("checkpoint watermark %d beyond the %d-arrival stream (same -dataset/-seed/-scale flags regenerate it)",
+				ckpt.Seq, len(stream))
+		}
+		fmt.Printf("restored %s: watermark %d, %d residents, %d live pairs — resuming at arrival %d\n",
+			*restore, ckpt.Seq, len(ckpt.Residents), len(ckpt.Pairs), ckpt.Seq)
+		// The summary below only sees the resumed suffix; carry the
+		// checkpoint's live pairs into the emitted set so it stays coherent.
+		for _, pr := range ckpt.Pairs {
+			emitted[metrics.Key(ckpt.Residents[pr.A].RID, ckpt.Residents[pr.B].RID)] = true
+		}
+		stream = stream[ckpt.Seq:]
+	}
 	var (
 		liveLen   int
 		breakdown metrics.Breakdown
@@ -87,7 +121,7 @@ func main() {
 		elapsed   time.Duration
 	)
 	if *shards > 1 {
-		eng, err := engine.New(sh, engine.Config{
+		engCfg := engine.Config{
 			Core:   cfg,
 			Shards: *shards,
 			OnResult: func(res engine.Result) {
@@ -106,7 +140,13 @@ func main() {
 					}
 				}
 			},
-		})
+		}
+		var eng *engine.Engine
+		if ckpt != nil {
+			eng, err = engine.NewFromSnapshot(sh, engCfg, ckpt)
+		} else {
+			eng, err = engine.New(sh, engCfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,8 +172,20 @@ func main() {
 			fmt.Print(ss.Residents)
 		}
 		fmt.Println()
+		if *ckptOut != "" {
+			c, err := eng.Checkpoint()
+			if err != nil {
+				log.Fatal(err)
+			}
+			writeCheckpoint(*ckptOut, c)
+		}
 	} else {
-		proc, err := core.NewProcessor(sh, cfg)
+		var proc *core.Processor
+		if ckpt != nil {
+			proc, err = core.NewProcessorFromSnapshot(sh, cfg, ckpt)
+		} else {
+			proc, err = core.NewProcessor(sh, cfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -154,13 +206,26 @@ func main() {
 		liveLen = proc.Results().Len()
 		breakdown = proc.Breakdown()
 		pruneStat = proc.PruneStats()
+		if *ckptOut != "" {
+			c, err := proc.Snapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			writeCheckpoint(*ckptOut, c)
+		}
 	}
 
-	// Ground truth restricted to the processed prefix.
+	// Ground truth restricted to the processed prefix (plus, on a resumed
+	// run, the restored residents).
 	truth := data.TruthPairs(*w, gamma)
 	seen := map[string]bool{}
 	for _, r := range stream {
 		seen[r.RID] = true
+	}
+	if ckpt != nil {
+		for _, res := range ckpt.Residents {
+			seen[res.RID] = true
+		}
 	}
 	for k := range truth {
 		if !seen[k.A] || !seen[k.B] {
@@ -168,9 +233,12 @@ func main() {
 		}
 	}
 	conf := metrics.Compare(emitted, truth)
+	perTuple := 0.0
+	if len(stream) > 0 {
+		perTuple = float64(elapsed.Microseconds()) / float64(len(stream))
+	}
 	fmt.Printf("\nprocessed %d arrivals in %v (%.1f µs/tuple)\n",
-		len(stream), elapsed.Round(time.Millisecond),
-		float64(elapsed.Microseconds())/float64(len(stream)))
+		len(stream), elapsed.Round(time.Millisecond), perTuple)
 	fmt.Printf("pairs emitted %d, live result set %d\n", len(emitted), liveLen)
 	fmt.Printf("F-score vs ground truth: %.2f%% (precision %.2f%%, recall %.2f%%)\n",
 		conf.F1()*100, conf.Precision()*100, conf.Recall()*100)
@@ -181,6 +249,14 @@ func main() {
 	if conf.TP == 0 && len(truth) > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeCheckpoint(path string, c *snapshot.Checkpoint) {
+	if err := snapshot.WriteFile(path, c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: wrote %s (watermark %d, %d residents, %d live pairs)\n",
+		path, c.Seq, len(c.Residents), len(c.Pairs))
 }
 
 func pivotCounts(sh *core.Shared) []int {

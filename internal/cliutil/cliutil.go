@@ -1,0 +1,73 @@
+// Package cliutil holds the flag validation shared by the terids command
+// line tools, so the parameter ranges (and their error messages) stay
+// identical across cmd/terids and cmd/terids-serve instead of drifting as
+// per-command copies.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxShards bounds the -shards flag: beyond this the per-arrival broadcast
+// fan-out dominates any parallelism win.
+const MaxShards = 64
+
+// Params are the command-line parameters common to the terids CLIs. Every
+// field is validated; commands without a given flag pass that field's
+// stated neutral value.
+type Params struct {
+	// Alpha is the probabilistic threshold α ∈ [0, 1).
+	Alpha float64
+	// Rho is the similarity ratio ρ ∈ (0, 1] (γ = ρ·d).
+	Rho float64
+	// W is the sliding window size, ≥ 1.
+	W int
+	// Streams is the number of incoming streams, ≥ 2.
+	Streams int
+	// Shards is the ER-grid shard count: 0 (auto-size) or [1, MaxShards].
+	Shards int
+	// Queue is the per-stage bounded queue depth, ≥ 1 (commands without a
+	// -queue flag pass 1).
+	Queue int
+	// Scale is the dataset scale factor, > 0.
+	Scale float64
+	// Eta is the repository size ratio η ∈ (0, 1].
+	Eta float64
+	// Xi is the missing rate ξ ∈ [0, 1].
+	Xi float64
+}
+
+// Validate checks every parameter range, joining all violations into one
+// error so a misconfigured invocation reports everything at once.
+func (p Params) Validate() error {
+	var errs []error
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		errs = append(errs, fmt.Errorf("-alpha %v outside [0, 1)", p.Alpha))
+	}
+	if p.Rho <= 0 || p.Rho > 1 {
+		errs = append(errs, fmt.Errorf("-rho %v outside (0, 1]", p.Rho))
+	}
+	if p.W < 1 {
+		errs = append(errs, fmt.Errorf("-w %d, need >= 1", p.W))
+	}
+	if p.Streams < 2 {
+		errs = append(errs, fmt.Errorf("-streams %d, need >= 2", p.Streams))
+	}
+	if p.Shards < 0 || p.Shards > MaxShards {
+		errs = append(errs, fmt.Errorf("-shards %d outside [0, %d] (0 = auto)", p.Shards, MaxShards))
+	}
+	if p.Queue < 1 {
+		errs = append(errs, fmt.Errorf("-queue %d, need >= 1", p.Queue))
+	}
+	if p.Scale <= 0 {
+		errs = append(errs, fmt.Errorf("-scale %v, need > 0", p.Scale))
+	}
+	if p.Eta <= 0 || p.Eta > 1 {
+		errs = append(errs, fmt.Errorf("-eta %v outside (0, 1]", p.Eta))
+	}
+	if p.Xi < 0 || p.Xi > 1 {
+		errs = append(errs, fmt.Errorf("-xi %v outside [0, 1]", p.Xi))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func valid() Params {
+	return Params{Alpha: 0.5, Rho: 0.5, W: 200, Streams: 2, Shards: 4, Queue: 256, Scale: 1, Eta: 0.5, Xi: 0.3}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	for _, p := range []Params{
+		valid(),
+		{Alpha: 0, Rho: 1, W: 1, Streams: 2, Shards: 0, Queue: 1, Scale: 0.01, Eta: 1, Xi: 0},
+		{Alpha: 0.999, Rho: 0.001, W: 1 << 20, Streams: 16, Shards: MaxShards, Queue: 1 << 16, Scale: 10, Eta: 0.5, Xi: 1},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"alpha high", func(p *Params) { p.Alpha = 1 }, "-alpha"},
+		{"alpha negative", func(p *Params) { p.Alpha = -0.1 }, "-alpha"},
+		{"rho zero", func(p *Params) { p.Rho = 0 }, "-rho"},
+		{"rho high", func(p *Params) { p.Rho = 1.1 }, "-rho"},
+		{"window", func(p *Params) { p.W = 0 }, "-w"},
+		{"streams", func(p *Params) { p.Streams = 1 }, "-streams"},
+		{"shards negative", func(p *Params) { p.Shards = -1 }, "-shards"},
+		{"shards huge", func(p *Params) { p.Shards = MaxShards + 1 }, "-shards"},
+		{"queue", func(p *Params) { p.Queue = 0 }, "-queue"},
+		{"scale", func(p *Params) { p.Scale = 0 }, "-scale"},
+		{"eta", func(p *Params) { p.Eta = 0 }, "-eta"},
+		{"xi", func(p *Params) { p.Xi = 1.5 }, "-xi"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid()
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want mention of %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateJoinsAllViolations(t *testing.T) {
+	err := Params{Alpha: 2, Rho: 0, W: 0, Streams: 0, Queue: 0, Scale: 0, Eta: 0, Xi: -1}.Validate()
+	if err == nil {
+		t.Fatal("all-bad params validated")
+	}
+	for _, flag := range []string{"-alpha", "-rho", "-w", "-streams", "-queue", "-scale", "-eta", "-xi"} {
+		if !strings.Contains(err.Error(), flag) {
+			t.Errorf("joined error misses %s: %v", flag, err)
+		}
+	}
+}

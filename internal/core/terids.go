@@ -23,6 +23,13 @@ type Processor struct {
 	grid     *grid.Grid
 	results  *ResultSet
 
+	// seq counts arrivals; seqOf maps each resident RID to its 0-based
+	// arrival sequence. Together they make the processor checkpointable at
+	// an exact watermark (and its checkpoints loadable by the sharded
+	// engine, whose merge order is keyed on arrival sequences).
+	seq   int64
+	seqOf map[string]int64
+
 	breakdown metrics.Breakdown
 	pruneStat metrics.PruneStats
 }
@@ -37,6 +44,7 @@ func NewProcessor(sh *Shared, cfg Config) (*Processor, error) {
 	p := &Processor{
 		step:    step,
 		results: NewResultSet(),
+		seqOf:   make(map[string]int64),
 	}
 	if cfg.TimeSpan > 0 {
 		p.timeWins = make([]*stream.TimeWindow, cfg.Streams)
@@ -116,6 +124,7 @@ func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
 	for _, e := range expired {
 		p.grid.Remove(e.RID)
 		p.results.RemoveRID(e.RID)
+		delete(p.seqOf, e.RID)
 	}
 
 	// Imputation via the index join (line 9).
@@ -133,6 +142,8 @@ func (p *Processor) Advance(r *tuple.Record) ([]Pair, error) {
 	if err := p.grid.Insert(&grid.Entry{Rec: r, Prof: prof}); err != nil {
 		return nil, err
 	}
+	p.seqOf[r.RID] = p.seq
+	p.seq++
 	p.breakdown.ER += sw.Lap()
 
 	for _, pair := range newPairs {

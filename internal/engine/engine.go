@@ -72,7 +72,7 @@ type Config struct {
 	QueueDepth int
 	// OnResult, when set, is invoked by the merger for every processed
 	// arrival, in submission order. It must not call back into the engine's
-	// submission path.
+	// submission path or Checkpoint (both would deadlock the merger).
 	OnResult func(Result)
 }
 
@@ -148,6 +148,10 @@ type Engine struct {
 	// seq is written only under subMu; atomic so Stats() can read it
 	// without queueing behind a backpressured Submit.
 	seq atomic.Int64
+	// startSeq is the first sequence number this engine assigns: 0 for a
+	// fresh engine, the checkpoint watermark after NewFromSnapshot. The
+	// router's and merger's reorder buffers release from it.
+	startSeq int64
 
 	imputeIn   chan *item
 	imputedOut chan *item
@@ -176,10 +180,25 @@ type Engine struct {
 	results   *core.ResultSet
 	completed int64 // guarded by resultsMu (written by merger)
 	rejected  int64 // guarded by resultsMu (written by merger)
+	// drained (on resultsMu) is broadcast by the merger after every
+	// finalized arrival and on pipeline failure; Checkpoint waits on it for
+	// the barrier (completed == seq).
+	drained *sync.Cond
 }
 
 // New builds and starts the engine over pre-computed Shared state.
 func New(sh *core.Shared, cfg Config) (*Engine, error) {
+	e, err := newEngine(sh, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngine builds the engine — channels, windows, shard grids — without
+// launching the pipeline, so NewFromSnapshot can load state first.
+func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 	cfg.fill()
 	step, err := core.NewStep(sh, cfg.Core)
 	if err != nil {
@@ -194,7 +213,9 @@ func New(sh *core.Shared, cfg Config) (*Engine, error) {
 		hdrCh:      make(chan header, cfg.QueueDepth),
 		partials:   make(chan partial, cfg.QueueDepth*cfg.Shards),
 		results:    core.NewResultSet(),
+		live:       make(map[string]struct{}),
 	}
+	e.drained = sync.NewCond(&e.resultsMu)
 	e.ctx, e.cancel = context.WithCancel(context.Background())
 
 	cc := cfg.Core
@@ -225,8 +246,6 @@ func New(sh *core.Shared, cfg Config) (*Engine, error) {
 		e.shardCh[i] = make(chan shardCmd, cfg.QueueDepth)
 		e.shards[i] = newShard(i, e, g)
 	}
-
-	e.start()
 	return e, nil
 }
 
@@ -261,6 +280,13 @@ func (e *Engine) fail(err error) {
 		e.failErr = err
 		e.failMu.Unlock()
 		e.cancel()
+		// Wake a Checkpoint barrier that is waiting for a drain which will
+		// never complete. Broadcast under resultsMu: a waiter between its
+		// predicate check and Wait() still holds the lock, so a lock-free
+		// broadcast could slip into that window and be lost forever.
+		e.resultsMu.Lock()
+		e.drained.Broadcast()
+		e.resultsMu.Unlock()
 	})
 }
 
@@ -367,10 +393,11 @@ func (e *Engine) router() {
 		}
 		close(e.hdrCh)
 	}()
-	// live tracks resident RIDs across all shards so duplicates are
-	// rejected per-tuple instead of failing a shard's grid insert.
-	e.live = make(map[string]struct{})
-	var buf reorder[*item]
+	// live (owned by this goroutine from here on; seeded by newEngine or a
+	// snapshot restore) tracks resident RIDs across all shards so
+	// duplicates are rejected per-tuple instead of failing a shard's grid
+	// insert.
+	buf := reorder[*item]{next: e.startSeq}
 	for it := range e.imputedOut {
 		ok := true
 		buf.add(it.seq, it, func(next *item) {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -98,9 +99,10 @@ func samePairs(a, b []core.Pair) bool {
 }
 
 // TestEngineMatchesProcessor is the sharding soundness contract: for
-// K ∈ {1, 2, 4} the engine's per-arrival output — pair identities, emission
-// order, and exact probabilities — and its final entity set are identical to
-// single-threaded core.Processor on the same input. Run under -race in CI.
+// K ∈ {1, 2, 4, 8} the engine's per-arrival output — pair identities,
+// emission order, and exact probabilities — and its final entity set are
+// identical to single-threaded core.Processor on the same input. Run under
+// -race in CI.
 func TestEngineMatchesProcessor(t *testing.T) {
 	f := loadFixture(t)
 	wantPerArrival, wantFinal := runProcessor(t, f)
@@ -113,8 +115,8 @@ func TestEngineMatchesProcessor(t *testing.T) {
 		t.Fatal("reference emitted no pairs; fixture too small to be meaningful")
 	}
 
-	for _, k := range []int{1, 2, 4} {
-		t.Run(map[int]string{1: "K=1", 2: "K=2", 4: "K=4"}[k], func(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
 			var mu sync.Mutex
 			got := make([][]core.Pair, len(f.stream))
 			eng, err := New(f.sh, Config{

@@ -51,8 +51,17 @@ type pending struct {
 // entity set — the single writer of e.results.
 func (e *Engine) merger() {
 	defer e.mergeWG.Done()
+	// A Checkpoint barrier may be waiting on the drain condition when the
+	// merger exits (close or failure); wake it so it can re-check. The lock
+	// prevents the broadcast from being lost between a waiter's predicate
+	// check and its Wait().
+	defer func() {
+		e.resultsMu.Lock()
+		e.drained.Broadcast()
+		e.resultsMu.Unlock()
+	}()
 	pend := make(map[int64]*pending)
-	var next int64
+	next := e.startSeq
 	get := func(seq int64) *pending {
 		p, ok := pend[seq]
 		if !ok {
@@ -103,6 +112,7 @@ func (e *Engine) finalize(p *pending) {
 		e.resultsMu.Lock()
 		e.completed++
 		e.rejected++
+		e.drained.Broadcast()
 		e.resultsMu.Unlock()
 		if e.cfg.OnResult != nil {
 			e.cfg.OnResult(Result{Seq: p.hdr.seq, RID: p.hdr.rid, Rejected: true})
@@ -129,6 +139,7 @@ func (e *Engine) finalize(p *pending) {
 		e.results.Add(pr)
 	}
 	e.completed++
+	e.drained.Broadcast()
 	e.resultsMu.Unlock()
 	e.acc.Add(metrics.Totals{Tuples: 1, Pairs: int64(len(pairs))})
 	if e.cfg.OnResult != nil {

@@ -9,6 +9,7 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -197,6 +198,34 @@ func (g *Grid) Remove(rid string) bool {
 	delete(g.byRID, rid)
 	delete(g.recs, rid)
 	return true
+}
+
+// Export returns the resident entries in insertion-ordinal order — the
+// minimal state a checkpoint needs. Cells, aggregates, and ordinals are
+// derived state that Import rebuilds.
+func (g *Grid) Export() []*Entry {
+	out := make([]*Entry, 0, len(g.recs))
+	for _, e := range g.recs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ord < out[j].ord })
+	return out
+}
+
+// Import bulk-loads exported entries into an empty grid, preserving their
+// relative order (fresh ordinals are assigned in slice order). The entries
+// are re-wrapped, not aliased, so the source grid — which may use a
+// different geometry — is left untouched.
+func (g *Grid) Import(entries []*Entry) error {
+	if len(g.recs) != 0 {
+		return fmt.Errorf("grid: import into non-empty grid (%d residents)", len(g.recs))
+	}
+	for _, e := range entries {
+		if err := g.Insert(&Entry{Rec: e.Rec, Prof: e.Prof}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get returns the resident entry for rid, if any.

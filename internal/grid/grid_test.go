@@ -245,3 +245,68 @@ func TestRemoveRebuildsAggregates(t *testing.T) {
 		}
 	}
 }
+
+func TestExportImportRoundtrip(t *testing.T) {
+	g := mustGrid(t, 2, 5)
+	kw := tokens.New("k")
+	rids := []string{"a1", "b1", "a2", "b2", "a3"}
+	for i, rid := range rids {
+		e := entry(t, rid, i%2, fmt.Sprintf("k p q%d", i), "m n", kw)
+		if err := g.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One eviction mid-way keeps the ordinal sequence gapped, as in
+	// production.
+	g.Remove("b1")
+
+	exported := g.Export()
+	if len(exported) != 4 {
+		t.Fatalf("exported %d entries, want 4", len(exported))
+	}
+	for i := 1; i < len(exported); i++ {
+		if exported[i-1].Ord() >= exported[i].Ord() {
+			t.Fatal("export not in insertion-ordinal order")
+		}
+	}
+
+	g2 := mustGrid(t, 2, 5)
+	if err := g2.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("imported grid has %d residents, want %d", g2.Len(), g.Len())
+	}
+	// Relative order is preserved under the fresh (compacted) ordinals.
+	re := g2.Export()
+	for i := range exported {
+		if re[i].Rec.RID != exported[i].Rec.RID {
+			t.Fatalf("import reordered entries: %s at %d, want %s",
+				re[i].Rec.RID, i, exported[i].Rec.RID)
+		}
+	}
+	// The source grid's entries were not mutated by the import.
+	for i, e := range exported {
+		if g.Export()[i].Ord() != e.Ord() {
+			t.Fatal("import mutated the exported entries' ordinals")
+		}
+	}
+	// Candidates behave identically on the rebuilt grid.
+	q := entry(t, "q", 0, "k p q1", "m n", kw)
+	collect := func(gr *Grid) []string {
+		var out []string
+		gr.Candidates(q.Prof, Query{Gamma: 0.5}, func(e *Entry) bool {
+			out = append(out, e.Rec.RID)
+			return true
+		})
+		return out
+	}
+	want, got := collect(g), collect(g2)
+	if len(want) != len(got) {
+		t.Fatalf("candidates differ after import: %v vs %v", got, want)
+	}
+
+	if err := g2.Import(exported); err == nil {
+		t.Fatal("import into a non-empty grid must fail")
+	}
+}

@@ -129,6 +129,25 @@ func (w *Window) Snapshot() []*tuple.Record {
 	return out
 }
 
+// Export is Snapshot under the checkpoint naming convention: the window's
+// restorable state is exactly its live tuples, oldest-first.
+func (w *Window) Export() []*tuple.Record { return w.Snapshot() }
+
+// Import restores exported tuples (oldest-first) into an empty window. It
+// refuses to evict: more tuples than the capacity is a corrupt checkpoint.
+func (w *Window) Import(recs []*tuple.Record) error {
+	if w.count != 0 {
+		return fmt.Errorf("stream: import into non-empty window (%d tuples)", w.count)
+	}
+	if len(recs) > w.w {
+		return fmt.Errorf("stream: import of %d tuples exceeds window capacity %d", len(recs), w.w)
+	}
+	for _, r := range recs {
+		w.Push(r)
+	}
+	return nil
+}
+
 // MultiWindow maintains one count-based window per stream, the layout used
 // by the TER-iDS problem statement (n streams, each with its own W_t).
 type MultiWindow struct {
@@ -174,6 +193,36 @@ func (m *MultiWindow) Len() int {
 		n += w.Len()
 	}
 	return n
+}
+
+// Export returns every stream's live tuples, interleaved back into one
+// global sequence: per-stream oldest-first order merged by Seq (ties broken
+// deterministically), which is the order Import replays them in.
+func (m *MultiWindow) Export() []*tuple.Record {
+	per := make([][]*tuple.Record, len(m.wins))
+	for i, w := range m.wins {
+		per[i] = w.Snapshot()
+	}
+	return Interleave(per...)
+}
+
+// Import restores exported tuples into empty windows, routing each to its
+// stream. Order within a stream must be oldest-first (Export's contract).
+func (m *MultiWindow) Import(recs []*tuple.Record) error {
+	per := make([][]*tuple.Record, len(m.wins))
+	for _, r := range recs {
+		if r.Stream < 0 || r.Stream >= len(m.wins) {
+			return fmt.Errorf("stream: import record %s has stream %d, have %d streams",
+				r.RID, r.Stream, len(m.wins))
+		}
+		per[r.Stream] = append(per[r.Stream], r)
+	}
+	for i, w := range m.wins {
+		if err := w.Import(per[i]); err != nil {
+			return fmt.Errorf("stream %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Each visits all live tuples across all streams.

@@ -63,3 +63,22 @@ func (t *TimeWindow) Len() int { return len(t.buf) }
 func (t *TimeWindow) Snapshot() []*tuple.Record {
 	return append([]*tuple.Record(nil), t.buf...)
 }
+
+// Export is Snapshot under the checkpoint naming convention. The window
+// clock is derived: it equals the newest live tuple's Seq (the arrival that
+// set it is always still live, since span >= 1), so Import recovers it.
+func (t *TimeWindow) Export() []*tuple.Record { return t.Snapshot() }
+
+// Import restores exported tuples (oldest-first) into an empty time window,
+// re-deriving the clock from the newest tuple.
+func (t *TimeWindow) Import(recs []*tuple.Record) error {
+	if len(t.buf) != 0 {
+		return fmt.Errorf("stream: import into non-empty time window (%d tuples)", len(t.buf))
+	}
+	for _, r := range recs {
+		if err := t.Push(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
