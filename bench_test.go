@@ -17,6 +17,7 @@ import (
 	"terids/internal/experiments"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
+	"terids/internal/wal"
 )
 
 // benchParams shrinks the workload so `go test -bench=.` stays tractable
@@ -282,6 +283,93 @@ func BenchmarkSnapshotRoundtrip(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(bytesOut), "ckpt_bytes")
+}
+
+// BenchmarkWALAppend measures the durable ingest path's write-ahead log
+// append under group commit: parallel appenders reserve strictly ordered
+// slots (as engine submissions do under the submission lock) and then wait
+// for durability together, sharing fsyncs. Reports appends/s and the
+// on-disk bytes per entry.
+func BenchmarkWALAppend(b *testing.B) {
+	l, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	values := []string{"an incomplete stream tuple", "-", "topic-aware entity resolution", "sigmod"}
+	var mu sync.Mutex
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			seq := next
+			next++
+			tk, err := l.Reserve(wal.Entry{
+				Seq: seq, RID: fmt.Sprintf("r%d", seq), Stream: int(seq % 4),
+				TupleSeq: seq, EntityID: -1, Values: values,
+			}, true)
+			mu.Unlock()
+			if err != nil {
+				panic(err)
+			}
+			if err := tk.Wait(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := l.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+	if st.NextSeq > 0 {
+		b.ReportMetric(float64(st.Bytes)/float64(st.NextSeq), "diskB/entry")
+	}
+}
+
+// BenchmarkRecovery measures crash recovery end to end: restore the
+// mid-stream snapshot, then replay the WAL suffix (half the stream) through
+// the full pipeline. Reports replayed tuples/s — the number that, against
+// -checkpoint-interval, bounds restart time.
+func BenchmarkRecovery(b *testing.B) {
+	f := loadEngineFixture(b)
+	dir := b.TempDir()
+	d, err := engine.OpenDurable(f.sh, engine.Config{Core: f.cfg, Shards: 4},
+		engine.DurableConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid := len(f.stream) / 2
+	for i, r := range f.stream {
+		if err := d.Eng.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+		if i+1 == mid {
+			if _, err := d.CheckpointNow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Close without a final checkpoint: the directory now holds a snapshot
+	// at mid plus a WAL to the end — a crash image every iteration recovers.
+	if err := d.Close(false); err != nil {
+		b.Fatal(err)
+	}
+	replayed := len(f.stream) - mid
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d2, err := engine.OpenDurable(f.sh, engine.Config{Core: f.cfg, Shards: 4},
+			engine.DurableConfig{Dir: dir, NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d2.Close(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*replayed)/b.Elapsed().Seconds(), "tuples/s")
 }
 
 // BenchmarkEngineShards measures sharded engine throughput at K ∈

@@ -26,14 +26,23 @@
 //	GET  /stats     engine + server counters as JSON.
 //	GET  /healthz   liveness.
 //
-// Operations: -restore <file> boots the engine from a checkpoint (at any
-// shard count — residency is re-derived); -checkpoint-on-exit <file> makes
-// SIGINT/SIGTERM drain the pipeline and write a final checkpoint before
-// exiting.
+// Operations: -wal-dir <dir> turns on the durability subsystem — every
+// accepted arrival is group-committed to a write-ahead log before it enters
+// the pipeline, a background checkpointer (-checkpoint-interval) snapshots
+// the full engine state atomically and prunes obsolete WAL segments, and on
+// boot the server auto-recovers: newest snapshot + WAL replay rebuilds the
+// exact pre-crash state, including the /results replay ring, so a client
+// cursor taken before the crash resumes across the restart without a 410.
+// -rate-limit caps per-stream ingest (token bucket per stream id; over-limit
+// lines get 429 with Retry-After). -restore <file> boots the engine from an
+// explicit checkpoint instead (mutually exclusive with -wal-dir);
+// -checkpoint-on-exit <file> makes SIGINT/SIGTERM drain the pipeline and
+// write a final checkpoint before exiting.
 //
 // Usage:
 //
 //	terids-serve -addr :8080 -dataset Citations -shards 4 -alpha 0.5 -rho 0.5
+//	terids-serve -wal-dir state/ -checkpoint-interval 30s -rate-limit 1000
 //	curl -X POST --data-binary @arrivals.ndjson localhost:8080/ingest
 //	curl -N localhost:8080/results
 //	curl -X POST 'localhost:8080/snapshot?path=ckpt.bin'   # needs -checkpoint-dir
@@ -80,11 +89,22 @@ func main() {
 		restore    = flag.String("restore", "", "boot the engine from this checkpoint file")
 		ckptOnExit = flag.String("checkpoint-on-exit", "", "drain and write a final checkpoint here on SIGINT/SIGTERM")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory /snapshot?path= may write into (empty = server-side writes disabled)")
+		walDir     = flag.String("wal-dir", "", "durability root: write-ahead log + periodic checkpoints + auto-recovery on boot")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = disabled; requires -wal-dir)")
+		ckptKeep   = flag.Int("checkpoint-keep", 2, "snapshots retained under -wal-dir (older ones and their WAL segments are pruned)")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-stream ingest rate limit in tuples/sec (0 = unlimited; over-limit gets 429 + Retry-After)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-stream token-bucket burst (0 = one second's worth of -rate-limit)")
 	)
 	flag.Parse()
 	if err := (cliutil.Params{
 		Alpha: *alpha, Rho: *rho, W: *w, Streams: *streams, Shards: *shards,
-		Queue: *queue, Scale: *scale, Eta: *eta, Xi: 0.3,
+		Queue: *queue, Scale: *scale, Eta: *eta, Xi: 0.3, RateLimit: *rateLimit,
+	}).Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := (cliutil.Durability{
+		WALDir: *walDir, Restore: *restore,
+		CheckpointInterval: *ckptEvery, CheckpointKeep: *ckptKeep,
 	}).Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -114,13 +134,25 @@ func main() {
 	}
 
 	var ckpt *snapshot.Checkpoint
+	ckptPath := ""
 	if *restore != "" {
 		ckpt, err = snapshot.ReadFile(*restore)
 		if err != nil {
 			log.Fatal(err)
 		}
+		ckptPath = *restore
+	} else if *walDir != "" {
+		// Auto-recovery: the newest snapshot under the durability root seeds
+		// both the engine and the replay ring's base; the WAL suffix past its
+		// watermark is replayed below, before the listener starts.
+		ckptPath, ckpt, err = engine.LatestCheckpoint(*walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if ckpt != nil {
 		log.Printf("restoring %s: watermark %d, %d residents, %d live pairs (captured at K=%d)",
-			*restore, ckpt.Seq, len(ckpt.Residents), len(ckpt.Pairs), ckpt.Shards)
+			ckptPath, ckpt.Seq, len(ckpt.Residents), len(ckpt.Pairs), ckpt.Shards)
 	}
 
 	ringBase := int64(0)
@@ -128,6 +160,8 @@ func main() {
 		ringBase = ckpt.Seq
 	}
 	srv := newServer(sh.Schema, *replayCap, ringBase, *ckptDir)
+	srv.limiter = newRateLimiter(*rateLimit, *rateBurst)
+	srv.streams = *streams
 	engCfg := engine.Config{
 		Core: core.Config{
 			Keywords: kws, Gamma: *rho * float64(sh.Schema.D()), Alpha: *alpha,
@@ -138,15 +172,29 @@ func main() {
 		OnResult:   srv.onResult,
 	}
 	var eng *engine.Engine
-	if ckpt != nil {
+	var dur *engine.Durable
+	switch {
+	case *walDir != "":
+		dur, err = engine.OpenDurable(sh, engCfg, engine.DurableConfig{
+			Dir: *walDir, CheckpointInterval: *ckptEvery, KeepCheckpoints: *ckptKeep,
+			Checkpoint: ckpt, CheckpointPath: ckptPath, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = dur.Eng
+		log.Printf("durable: wal at %s, resumed at seq %d (%d arrivals replayed)",
+			*walDir, dur.ResumeSeq(), dur.Replayed())
+	case ckpt != nil:
 		eng, err = engine.NewFromSnapshot(sh, engCfg, ckpt)
-	} else {
+	default:
 		eng, err = engine.New(sh, engCfg)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.eng = eng
+	srv.dur = dur
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 	go func() {
@@ -165,8 +213,13 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	// Close drains every accepted arrival through the pipeline, so the exit
-	// checkpoint below captures a consistent final state.
-	if err := eng.Close(); err != nil {
+	// checkpoint below captures a consistent final state. With a WAL this
+	// also writes one last snapshot, making the next boot replay-free.
+	if dur != nil {
+		if err := dur.Close(true); err != nil {
+			log.Fatalf("durable shutdown: %v", err)
+		}
+	} else if err := eng.Close(); err != nil {
 		log.Fatalf("engine: %v", err)
 	}
 	if *ckptOnExit != "" {

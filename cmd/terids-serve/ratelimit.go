@@ -1,0 +1,77 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter enforces a per-stream ingest rate: one token bucket per stream
+// id, refilled continuously at rate tokens/sec up to burst. A nil limiter
+// (rate limiting disabled) allows everything.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[int]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter at rate tuples/sec per stream. burst <= 0
+// defaults the bucket capacity to one second's worth of tokens (minimum 1).
+// rate <= 0 disables limiting entirely (returns nil).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[int]*bucket), now: time.Now}
+}
+
+// allow consumes one token from the stream's bucket. When the bucket is
+// empty it reports the wait until the next token — the 429 Retry-After.
+func (l *rateLimiter) allow(stream int) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[stream]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[stream] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds for the Retry-After
+// header (minimum 1: zero would invite an immediate, doomed retry).
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

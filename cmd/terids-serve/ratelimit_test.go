@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBuckets drives the token bucket with a fake clock: burst
+// spends, refill restores, streams are independent, and the reported wait
+// matches the deficit.
+func TestRateLimiterBuckets(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(2, 2) // 2 tuples/sec, burst 2
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow(0); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, wait := l.allow(0)
+	if ok {
+		t.Fatal("third token within the same instant allowed")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("wait %v, want in (0, 500ms] at 2 tokens/sec", wait)
+	}
+	// A different stream has its own bucket.
+	if ok, _ := l.allow(1); !ok {
+		t.Fatal("stream 1 denied by stream 0's exhaustion")
+	}
+	// Half a second refills one token at 2/sec.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.allow(0); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.allow(0); ok {
+		t.Fatal("second token after a one-token refill allowed")
+	}
+	// Idle time caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow(0); !ok {
+			t.Fatalf("post-idle burst token %d denied", i)
+		}
+	}
+	if ok, _ := l.allow(0); ok {
+		t.Fatal("idle time accumulated more than burst")
+	}
+
+	// Disabled limiter (rate 0) is nil and allows everything.
+	if dl := newRateLimiter(0, 5); dl != nil {
+		t.Fatal("rate 0 must disable the limiter")
+	}
+	var nilLimiter *rateLimiter
+	if ok, _ := nilLimiter.allow(3); !ok {
+		t.Fatal("nil limiter must allow")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1}, {10 * time.Millisecond, 1}, {time.Second, 1}, {1100 * time.Millisecond, 2}, {3 * time.Second, 3},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.wait); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}

@@ -35,6 +35,20 @@ func (r *resultRing) add(res engine.Result) {
 	r.mu.Unlock()
 }
 
+// status reports the retention window for /stats: the oldest sequence a
+// /results?from= replay can still serve, the next sequence to be retained,
+// and the retained count — so clients can size from= without probing for a
+// 410.
+func (r *resultRing) status() (oldest, next int64, retained int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest = r.next - int64(r.n)
+	if oldest < r.base {
+		oldest = r.base
+	}
+	return oldest, r.next, r.n
+}
+
 // since returns the retained results with sequence >= from, in order. gone
 // reports that results in [from, oldest) are no longer available — evicted
 // from the ring, or produced before this process started (e.g. before a

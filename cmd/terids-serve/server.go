@@ -31,11 +31,22 @@ type server struct {
 	// done is closed on shutdown so idle /results streams exit instead of
 	// pinning http.Server.Shutdown to its deadline.
 	done chan struct{}
+	// limiter, when non-nil, enforces the per-stream ingest rate (-rate-limit).
+	limiter *rateLimiter
+	// streams bounds client-supplied stream ids up front (0 = unchecked
+	// here, the engine still validates). The limiter keys a bucket per
+	// stream id, so on this unauthenticated endpoint ids must be validated
+	// BEFORE the limiter — otherwise random ids grow its map without bound.
+	streams int
+	// dur, when non-nil, is the durability subsystem handle (-wal-dir); only
+	// its health shows up in /stats — the data path runs through eng as usual.
+	dur *engine.Durable
 
-	mu      sync.Mutex
-	subs    map[chan engine.Result]struct{}
-	dropped atomic.Int64
-	autoSeq atomic.Int64
+	mu          sync.Mutex
+	subs        map[chan engine.Result]struct{}
+	dropped     atomic.Int64
+	autoSeq     atomic.Int64
+	rateLimited atomic.Int64
 }
 
 // newServer builds the server shell; the engine is attached afterwards
@@ -142,7 +153,7 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 	lineNo := 0
 	reply := func(status int, msg string) {
 		rw.Header().Set("Content-Type", "application/json")
-		if status == http.StatusTooManyRequests {
+		if status == http.StatusTooManyRequests && rw.Header().Get("Retry-After") == "" {
 			rw.Header().Set("Retry-After", "1")
 		}
 		rw.WriteHeader(status)
@@ -163,6 +174,16 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 		}
 		if a.RID == "" {
 			reply(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
+			return
+		}
+		if a.Stream < 0 || (s.streams > 0 && a.Stream >= s.streams) {
+			reply(http.StatusBadRequest, fmt.Sprintf("line %d: stream %d outside [0,%d)", lineNo, a.Stream, s.streams))
+			return
+		}
+		if ok, wait := s.limiter.allow(a.Stream); !ok {
+			s.rateLimited.Add(1)
+			rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+			reply(http.StatusTooManyRequests, fmt.Sprintf("line %d: stream %d over the ingest rate limit", lineNo, a.Stream))
 			return
 		}
 		seq := s.autoSeq.Add(1)
@@ -369,15 +390,17 @@ func (s *server) checkpointPath(name string) (string, error) {
 	return filepath.Join(s.ckptDir, clean), nil
 }
 
-// handleStats reports aggregated engine stats plus server-side counters.
+// handleStats reports aggregated engine stats plus server-side counters,
+// the /results replay retention window, and (when -wal-dir is set) the
+// durability subsystem's health.
 func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	s.mu.Lock()
 	nSubs := len(s.subs)
 	s.mu.Unlock()
 	topic, simUB, probUB, instPair, total := st.Totals.Prune.Power()
-	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(map[string]any{
+	oldest, next, retained := s.ring.status()
+	payload := map[string]any{
 		"engine": st,
 		"breakdown": map[string]any{
 			"select_ns": st.Totals.Breakdown.Select.Nanoseconds(),
@@ -389,7 +412,18 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 			"topic": topic, "sim_ub": simUB, "prob_ub": probUB,
 			"inst_pair": instPair, "total": total,
 		},
+		"replay": map[string]any{
+			"oldest_retained": oldest,
+			"next_seq":        next,
+			"retained":        retained,
+		},
 		"subscribers":     nSubs,
 		"dropped_results": s.dropped.Load(),
-	})
+		"rate_limited":    s.rateLimited.Load(),
+	}
+	if s.dur != nil {
+		payload["durability"] = s.dur.Stats()
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(payload)
 }

@@ -83,6 +83,7 @@ func startServer(t *testing.T, f serveFixture, shards, ringCap int, ckpt *snapsh
 		ringBase = ckpt.Seq
 	}
 	srv := newServer(f.sh.Schema, ringCap, ringBase, t.TempDir())
+	srv.streams = f.cfg.Streams
 	cfg := engine.Config{Core: f.cfg, Shards: shards, OnResult: srv.onResult}
 	var eng *engine.Engine
 	var err error
@@ -355,11 +356,42 @@ func TestServeReplayEviction(t *testing.T) {
 	if out.OldestRetained != 42 {
 		t.Fatalf("oldest_retained %d, want 42", out.OldestRetained)
 	}
+	// /stats exposes the same retention window, so clients can size from=
+	// without probing for a 410.
+	st := getStats(t, ts)
+	replay, ok := st["replay"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no replay block: %v", st)
+	}
+	if got := replay["oldest_retained"].(float64); got != 42 {
+		t.Fatalf("/stats replay.oldest_retained %v, want 42", got)
+	}
+	if got := replay["next_seq"].(float64); got != 50 {
+		t.Fatalf("/stats replay.next_seq %v, want 50", got)
+	}
+	if got := replay["retained"].(float64); got != 8 {
+		t.Fatalf("/stats replay.retained %v, want 8", got)
+	}
 	// The retained tail still replays.
 	lines := readResults(t, ts, "?from=42", 8)
 	if lines[0].Seq != 42 || lines[7].Seq != 49 {
 		t.Fatalf("tail spans [%d,%d], want [42,49]", lines[0].Seq, lines[7].Seq)
 	}
+}
+
+// getStats fetches and decodes /stats.
+func getStats(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 // TestServeReplayFromFutureSeq: a cursor beyond the newest merged result
@@ -387,6 +419,185 @@ func TestServeReplayFromFutureSeq(t *testing.T) {
 		if line.Seq != int64(25+i) {
 			t.Fatalf("line %d has seq %d, want %d (cursor must never rewind)", i, line.Seq, 25+i)
 		}
+	}
+}
+
+// startDurableServer boots a server over a durability directory via the
+// auto-recovery path (newest checkpoint + WAL replay), exactly as -wal-dir
+// does.
+func startDurableServer(t *testing.T, f serveFixture, shards int, dir string) (*server, *engine.Durable, *httptest.Server) {
+	t.Helper()
+	path, ckpt, err := engine.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringBase := int64(0)
+	if ckpt != nil {
+		ringBase = ckpt.Seq
+	}
+	srv := newServer(f.sh.Schema, 4096, ringBase, "")
+	srv.streams = f.cfg.Streams
+	dur, err := engine.OpenDurable(f.sh,
+		engine.Config{Core: f.cfg, Shards: shards, OnResult: srv.onResult},
+		engine.DurableConfig{Dir: dir, Checkpoint: ckpt, CheckpointPath: path, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.eng = dur.Eng
+	srv.dur = dur
+	return srv, dur, httptest.NewServer(srv.routes())
+}
+
+// TestServeDurableRestart is the serving half of the durability contract: a
+// client's /results?from= cursor taken before a restart must replay the full
+// gap afterwards — served from the WAL-backed ring rebuilt on recovery — with
+// no 410, and /stats must surface the subsystem's health.
+func TestServeDurableRestart(t *testing.T) {
+	f := loadServeFixture(t)
+	dir := t.TempDir()
+
+	srv1, dur1, ts1 := startDurableServer(t, f, 2, dir)
+	ingest(t, ts1, f.stream[:40])
+	if _, err := dur1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, ts1, f.stream[40:100])
+	// The "crash": stop serving without a final checkpoint, so sequences
+	// [40, 100) exist only in the WAL.
+	close(srv1.done)
+	ts1.Close()
+	if err := dur1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, dur2, ts2 := startDurableServer(t, f, 4, dir)
+	defer func() {
+		close(srv2.done)
+		ts2.Close()
+		_ = dur2.Close(false)
+	}()
+	if dur2.ResumeSeq() != 100 || dur2.Replayed() != 60 {
+		t.Fatalf("recovery resumed at %d with %d replayed, want 100/60", dur2.ResumeSeq(), dur2.Replayed())
+	}
+
+	// A cursor from before the crash, spanning the restart: the whole gap
+	// streams back, no 410.
+	lines := readResults(t, ts2, "?from=50", 50)
+	for i, line := range lines {
+		if line.Seq != int64(50+i) {
+			t.Fatalf("line %d has seq %d, want %d", i, line.Seq, 50+i)
+		}
+		if line.RID != f.stream[50+i].RID {
+			t.Fatalf("seq %d replayed rid %s, want %s", line.Seq, line.RID, f.stream[50+i].RID)
+		}
+	}
+	// Live ingest continues seamlessly after the replayed gap.
+	ingest(t, ts2, f.stream[100:120])
+	cont := readResults(t, ts2, "?from=95", 25)
+	if cont[0].Seq != 95 || cont[24].Seq != 119 {
+		t.Fatalf("spanning read covers [%d,%d], want [95,119]", cont[0].Seq, cont[24].Seq)
+	}
+	// Results older than the restored checkpoint are genuinely gone — exact
+	// replay of them is impossible — and report the post-restart base.
+	goneResp, err := http.Get(ts2.URL + "/results?from=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gone struct {
+		OldestRetained int64 `json:"oldest_retained"`
+	}
+	if err := json.NewDecoder(goneResp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	goneResp.Body.Close()
+	if goneResp.StatusCode != http.StatusGone || gone.OldestRetained != 40 {
+		t.Fatalf("pre-checkpoint cursor: status %d oldest %d, want 410/40", goneResp.StatusCode, gone.OldestRetained)
+	}
+
+	// /stats surfaces WAL and checkpointer health.
+	st := getStats(t, ts2)
+	durStats, ok := st["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no durability block: %v", st)
+	}
+	walStats := durStats["wal"].(map[string]any)
+	if got := walStats["next_seq"].(float64); got != 120 {
+		t.Fatalf("durability.wal.next_seq %v, want 120", got)
+	}
+	if got := walStats["segments"].(float64); got < 1 {
+		t.Fatalf("durability.wal.segments %v, want >= 1", got)
+	}
+	if got := durStats["replayed"].(float64); got != 60 {
+		t.Fatalf("durability.replayed %v, want 60", got)
+	}
+	if got := durStats["last_checkpoint_seq"].(float64); got != 40 {
+		t.Fatalf("durability.last_checkpoint_seq %v, want 40", got)
+	}
+	if durStats["recovered_from"].(string) == "" {
+		t.Fatal("durability.recovered_from empty after a snapshot recovery")
+	}
+}
+
+// TestServeIngestRateLimit: per-stream token buckets — an over-limit stream
+// gets 429 with Retry-After while other streams keep flowing, and /stats
+// counts the rejections.
+func TestServeIngestRateLimit(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts := startServer(t, f, 1, 64, nil)
+	srv.limiter = newRateLimiter(1, 3) // 1 tuple/sec, burst 3
+
+	var s0, s1 []*tuple.Record
+	for _, r := range f.stream {
+		if r.Stream == 0 && len(s0) < 6 {
+			s0 = append(s0, r)
+		}
+		if r.Stream == 1 && len(s1) < 3 {
+			s1 = append(s1, r)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/ingest?wait=1", "application/x-ndjson",
+		strings.NewReader(ndjson(t, s0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit ingest: status %d, want 429", resp.StatusCode)
+	}
+	if out.Accepted != 3 {
+		t.Fatalf("accepted %d lines before the limit, want the burst of 3", out.Accepted)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 carries Retry-After %q, want >= 1 second", ra)
+	}
+	// Stream 1's bucket is untouched by stream 0's exhaustion.
+	ingest(t, ts, s1)
+	if got := getStats(t, ts)["rate_limited"].(float64); got != 1 {
+		t.Fatalf("/stats rate_limited %v, want 1", got)
+	}
+	// Out-of-range stream ids are rejected BEFORE the limiter, so arbitrary
+	// client-chosen ids cannot grow its bucket map.
+	bad, err := http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader(`{"rid":"x","stream":999999,"values":["a","b","c","d"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range stream: status %d, want 400", bad.StatusCode)
+	}
+	srv.limiter.mu.Lock()
+	nBuckets := len(srv.limiter.buckets)
+	srv.limiter.mu.Unlock()
+	if nBuckets > f.cfg.Streams {
+		t.Fatalf("limiter holds %d buckets for %d streams: invalid ids leaked in", nBuckets, f.cfg.Streams)
 	}
 }
 

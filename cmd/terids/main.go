@@ -11,6 +11,14 @@
 // final operator state when the stream ends, and -restore <file> loads a
 // checkpoint and skips the arrivals it already covers (same dataset flags
 // and seed regenerate the same stream, so the suffix lines up exactly).
+//
+// For crash-safe runs, -wal <dir> logs every arrival to a write-ahead log
+// before processing it and auto-resumes: rerunning the same command after a
+// kill recovers the newest checkpoint under the directory (periodic with
+// -checkpoint-interval, always one final on completion), replays the WAL
+// suffix, and continues with the remaining arrivals — the combined output is
+// identical to an uninterrupted run. Mutually exclusive with -restore; the
+// same dataset flags must be used across reruns.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"terids/internal/engine"
 	"terids/internal/metrics"
 	"terids/internal/snapshot"
+	"terids/internal/tuple"
 )
 
 func main() {
@@ -34,26 +43,35 @@ func main() {
 	log.SetPrefix("terids: ")
 
 	var (
-		name     = flag.String("dataset", "Citations", "dataset profile (Citations, Anime, Bikes, EBooks, Songs)")
-		alpha    = flag.Float64("alpha", 0.5, "probabilistic threshold α in [0,1)")
-		rho      = flag.Float64("rho", 0.5, "similarity ratio ρ (γ = ρ·d)")
-		xi       = flag.Float64("xi", 0.3, "missing rate ξ")
-		m        = flag.Int("m", 1, "missing attributes per incomplete tuple")
-		w        = flag.Int("w", 200, "sliding window size")
-		eta      = flag.Float64("eta", 0.5, "repository size ratio η")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		max      = flag.Int("max", 0, "max arrivals to process (0 = all)")
-		shards   = flag.Int("shards", 1, "ER-grid shards (>1 runs the concurrent engine)")
-		keywords = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
-		verbose  = flag.Bool("v", false, "print every matching pair as it is found")
-		ckptOut  = flag.String("checkpoint", "", "write the final operator state to this file when the stream ends")
-		restore  = flag.String("restore", "", "resume from a checkpoint file (skips the arrivals it covers)")
+		name      = flag.String("dataset", "Citations", "dataset profile (Citations, Anime, Bikes, EBooks, Songs)")
+		alpha     = flag.Float64("alpha", 0.5, "probabilistic threshold α in [0,1)")
+		rho       = flag.Float64("rho", 0.5, "similarity ratio ρ (γ = ρ·d)")
+		xi        = flag.Float64("xi", 0.3, "missing rate ξ")
+		m         = flag.Int("m", 1, "missing attributes per incomplete tuple")
+		w         = flag.Int("w", 200, "sliding window size")
+		eta       = flag.Float64("eta", 0.5, "repository size ratio η")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		max       = flag.Int("max", 0, "max arrivals to process (0 = all)")
+		shards    = flag.Int("shards", 1, "ER-grid shards (>1 runs the concurrent engine)")
+		keywords  = flag.String("keywords", "", "comma-separated query keywords (default: the profile's topics)")
+		verbose   = flag.Bool("v", false, "print every matching pair as it is found")
+		ckptOut   = flag.String("checkpoint", "", "write the final operator state to this file when the stream ends")
+		restore   = flag.String("restore", "", "resume from a checkpoint file (skips the arrivals it covers)")
+		walDir    = flag.String("wal", "", "write-ahead log directory: crash-safe run, reruns auto-resume (mutually exclusive with -restore)")
+		ckptEvery = flag.Duration("checkpoint-interval", 0,
+			"periodic background checkpoints under -wal (0 = only the final one; requires -wal)")
 	)
 	flag.Parse()
 	if err := (cliutil.Params{
 		Alpha: *alpha, Rho: *rho, W: *w, Streams: 2, Shards: *shards,
 		Queue: 1, Scale: *scale, Eta: *eta, Xi: *xi,
+	}).Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := (cliutil.Durability{
+		WALDir: *walDir, Restore: *restore,
+		CheckpointInterval: *ckptEvery, CheckpointKeep: 2,
 	}).Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -96,6 +114,10 @@ func main() {
 	}
 	emitted := map[metrics.PairKey]bool{}
 	var ckpt *snapshot.Checkpoint
+	// replayRecs are the arrivals this process re-runs from the WAL (between
+	// the recovered checkpoint's watermark and the log frontier); the summary
+	// counts them as processed.
+	var replayRecs []*tuple.Record
 	if *restore != "" {
 		ckpt, err = snapshot.ReadFile(*restore)
 		if err != nil {
@@ -113,6 +135,23 @@ func main() {
 			emitted[metrics.Key(ckpt.Residents[pr.A].RID, ckpt.Residents[pr.B].RID)] = true
 		}
 		stream = stream[ckpt.Seq:]
+	} else if *walDir != "" {
+		path, c, err := engine.LatestCheckpoint(*walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c != nil {
+			if c.Seq > int64(len(stream)) {
+				log.Fatalf("checkpoint watermark %d beyond the %d-arrival stream (same -dataset/-seed/-scale flags regenerate it)",
+					c.Seq, len(stream))
+			}
+			fmt.Printf("recovering %s: watermark %d, %d residents, %d live pairs\n",
+				path, c.Seq, len(c.Residents), len(c.Pairs))
+			for _, pr := range c.Pairs {
+				emitted[metrics.Key(c.Residents[pr.A].RID, c.Residents[pr.B].RID)] = true
+			}
+		}
+		ckpt = c
 	}
 	var (
 		liveLen   int
@@ -120,7 +159,7 @@ func main() {
 		pruneStat metrics.PruneStats
 		elapsed   time.Duration
 	)
-	if *shards > 1 {
+	if *shards > 1 || *walDir != "" {
 		engCfg := engine.Config{
 			Core:   cfg,
 			Shards: *shards,
@@ -142,9 +181,34 @@ func main() {
 			},
 		}
 		var eng *engine.Engine
-		if ckpt != nil {
+		var dur *engine.Durable
+		switch {
+		case *walDir != "":
+			// The checkpoint restore and the WAL replay both happen inside
+			// OpenDurable (the replay flows through OnResult above, so its
+			// matches land in the emitted set like any other).
+			dur, err = engine.OpenDurable(sh, engCfg, engine.DurableConfig{
+				Dir: *walDir, CheckpointInterval: *ckptEvery,
+				Checkpoint: ckpt, Logf: log.Printf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng = dur.Eng
+			resume := dur.ResumeSeq()
+			if resume > int64(len(stream)) {
+				log.Fatalf("wal frontier %d beyond the %d-arrival stream (same -dataset/-seed/-scale flags regenerate it)",
+					resume, len(stream))
+			}
+			if resume > 0 {
+				watermark := resume - dur.Replayed()
+				replayRecs = stream[watermark:resume]
+				fmt.Printf("wal: resumed at arrival %d (%d replayed from the log)\n", resume, dur.Replayed())
+			}
+			stream = stream[resume:]
+		case ckpt != nil:
 			eng, err = engine.NewFromSnapshot(sh, engCfg, ckpt)
-		} else {
+		default:
 			eng, err = engine.New(sh, engCfg)
 		}
 		if err != nil {
@@ -156,7 +220,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if err := eng.Close(); err != nil {
+		if dur != nil {
+			// Drains the pipeline and writes one final checkpoint, so a
+			// rerun of the same command resumes past the whole stream.
+			if err := dur.Close(true); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := eng.Close(); err != nil {
 			log.Fatal(err)
 		}
 		elapsed = time.Since(start)
@@ -220,6 +290,9 @@ func main() {
 	truth := data.TruthPairs(*w, gamma)
 	seen := map[string]bool{}
 	for _, r := range stream {
+		seen[r.RID] = true
+	}
+	for _, r := range replayRecs {
 		seen[r.RID] = true
 	}
 	if ckpt != nil {

@@ -7,6 +7,7 @@ package cliutil
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // MaxShards bounds the -shards flag: beyond this the per-arrival broadcast
@@ -36,6 +37,9 @@ type Params struct {
 	Eta float64
 	// Xi is the missing rate ξ ∈ [0, 1].
 	Xi float64
+	// RateLimit is the per-stream ingest rate limit in tuples/sec, ≥ 0
+	// (0 disables; commands without a -rate-limit flag pass 0).
+	RateLimit float64
 }
 
 // Validate checks every parameter range, joining all violations into one
@@ -68,6 +72,48 @@ func (p Params) Validate() error {
 	}
 	if p.Xi < 0 || p.Xi > 1 {
 		errs = append(errs, fmt.Errorf("-xi %v outside [0, 1]", p.Xi))
+	}
+	if p.RateLimit < 0 {
+		errs = append(errs, fmt.Errorf("-rate-limit %v, need >= 0 (0 = unlimited)", p.RateLimit))
+	}
+	return errors.Join(errs...)
+}
+
+// Durability are the WAL/checkpoint flags shared by the terids CLIs. The
+// combinations are constrained: a WAL directory carries its own checkpoints
+// and auto-recovers, so an explicit -restore alongside it is ambiguous, and
+// the background checkpointer has nowhere to write without a WAL directory.
+type Durability struct {
+	// WALDir is -wal-dir (terids-serve) / -wal (terids): the durability
+	// root. Empty disables the subsystem.
+	WALDir string
+	// Restore is -restore: an explicit checkpoint file to boot from.
+	Restore string
+	// CheckpointInterval is -checkpoint-interval: the background
+	// checkpointer period (0 = disabled; requires WALDir when set).
+	CheckpointInterval time.Duration
+	// CheckpointKeep is -checkpoint-keep: snapshots retained, ≥ 1 (commands
+	// without the flag pass 1).
+	CheckpointKeep int
+}
+
+// Validate checks the durability flag combinations, joining all violations
+// into one error.
+func (d Durability) Validate() error {
+	var errs []error
+	if d.WALDir != "" && d.Restore != "" {
+		errs = append(errs, errors.New(
+			"-restore and the WAL directory flag are mutually exclusive: the WAL directory auto-recovers from its own newest checkpoint"))
+	}
+	if d.CheckpointInterval < 0 {
+		errs = append(errs, fmt.Errorf("-checkpoint-interval %v, need >= 0 (0 = disabled)", d.CheckpointInterval))
+	}
+	if d.CheckpointInterval > 0 && d.WALDir == "" {
+		errs = append(errs, errors.New(
+			"-checkpoint-interval requires the WAL directory flag: periodic checkpoints are written under it"))
+	}
+	if d.CheckpointKeep < 1 {
+		errs = append(errs, fmt.Errorf("-checkpoint-keep %d, need >= 1", d.CheckpointKeep))
 	}
 	return errors.Join(errs...)
 }

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func valid() Params {
@@ -39,6 +40,7 @@ func TestValidateRejects(t *testing.T) {
 		{"scale", func(p *Params) { p.Scale = 0 }, "-scale"},
 		{"eta", func(p *Params) { p.Eta = 0 }, "-eta"},
 		{"xi", func(p *Params) { p.Xi = 1.5 }, "-xi"},
+		{"rate limit", func(p *Params) { p.RateLimit = -1 }, "-rate-limit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -60,6 +62,66 @@ func TestValidateJoinsAllViolations(t *testing.T) {
 	for _, flag := range []string{"-alpha", "-rho", "-w", "-streams", "-queue", "-scale", "-eta", "-xi"} {
 		if !strings.Contains(err.Error(), flag) {
 			t.Errorf("joined error misses %s: %v", flag, err)
+		}
+	}
+}
+
+// TestDurabilityAccepts covers every legal flag combination: durability off,
+// WAL without the background checkpointer, the full WAL+checkpointer setup,
+// and a plain -restore without a WAL.
+func TestDurabilityAccepts(t *testing.T) {
+	for _, d := range []Durability{
+		{CheckpointKeep: 1},
+		{WALDir: "state", CheckpointKeep: 1},
+		{WALDir: "state", CheckpointInterval: 30 * time.Second, CheckpointKeep: 2},
+		{Restore: "ckpt.bin", CheckpointKeep: 1},
+	} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", d, err)
+		}
+	}
+}
+
+// TestDurabilityRejects covers the conflicting and required-together cases:
+// -wal-dir/-restore are mutually exclusive (the WAL directory auto-recovers
+// from its own checkpoints), and -checkpoint-interval requires -wal-dir.
+func TestDurabilityRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Durability
+		want string
+	}{
+		{"wal-dir and restore together", Durability{
+			WALDir: "state", Restore: "ckpt.bin", CheckpointKeep: 1,
+		}, "mutually exclusive"},
+		{"checkpoint interval without wal dir", Durability{
+			CheckpointInterval: time.Minute, CheckpointKeep: 1,
+		}, "-checkpoint-interval requires"},
+		{"negative interval", Durability{
+			WALDir: "state", CheckpointInterval: -time.Second, CheckpointKeep: 1,
+		}, "-checkpoint-interval"},
+		{"keep zero", Durability{WALDir: "state"}, "-checkpoint-keep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%+v) = %v, want mention of %q", tc.d, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDurabilityJoinsAllViolations: a maximally misconfigured invocation
+// reports every problem at once.
+func TestDurabilityJoinsAllViolations(t *testing.T) {
+	err := Durability{WALDir: "state", Restore: "ckpt.bin", CheckpointInterval: -1}.Validate()
+	if err == nil {
+		t.Fatal("all-bad durability flags validated")
+	}
+	for _, want := range []string{"mutually exclusive", "-checkpoint-interval", "-checkpoint-keep"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
 		}
 	}
 }

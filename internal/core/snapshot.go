@@ -90,6 +90,19 @@ func CheckpointRecords(schema *tuple.Schema, c *snapshot.Checkpoint) ([]*tuple.R
 	return recs, nil
 }
 
+// ArrivalRecord materializes one logged arrival back into a record — the
+// replay entry point shared by the engine's WAL recovery and the batch CLI.
+// EntityID is preserved so a replayed evaluation run scores identically to
+// the original; resolution itself never reads it.
+func ArrivalRecord(schema *tuple.Schema, rid string, stream int, seq int64, entityID int, values []string) (*tuple.Record, error) {
+	r, err := tuple.NewRecord(schema, rid, stream, seq, values)
+	if err != nil {
+		return nil, fmt.Errorf("core: replayed arrival %s: %w", rid, err)
+	}
+	r.EntityID = entityID
+	return r, nil
+}
+
 // CheckpointPairs appends the live entity set to c as index references over
 // c.Residents (every pair member is window-live, hence a resident).
 func CheckpointPairs(rs *ResultSet, c *snapshot.Checkpoint) error {

@@ -1,0 +1,407 @@
+// Durability: the arrival WAL plus a background checkpointer turn the
+// engine's barrier checkpoints into exact recovery points. The WAL records
+// the accepted arrival stream — the only non-derivable online state — so
+// recovery is: restore the newest snapshot, then replay the logged arrivals
+// past its watermark through the normal pipeline. The replayed run is
+// byte-identical (pair identities, order, probabilities) to an uninterrupted
+// one, at any shard count K'.
+//
+// On-disk layout under one durability directory:
+//
+//	<dir>/<seq>.wal              arrival log segments (internal/wal)
+//	<dir>/checkpoints/ckpt-<seq>.ckpt   snapshots (internal/snapshot), atomic
+//
+// The checkpointer goroutine periodically runs the engine's barrier
+// Checkpoint, writes the snapshot atomically (temp + rename), prunes all but
+// the newest KeepCheckpoints snapshots, and truncates WAL segments older
+// than the oldest snapshot still retained — so every retained snapshot,
+// not just the newest, keeps the WAL suffix it needs for exact recovery
+// (the corrupt-newest fallback in LatestCheckpoint depends on this).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/snapshot"
+	"terids/internal/wal"
+)
+
+// checkpointSubdir is the snapshot directory under the durability root.
+const checkpointSubdir = "checkpoints"
+
+// ckptPrefix/ckptSuffix frame snapshot filenames; the middle is the
+// zero-padded watermark, so lexicographic order is watermark order.
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+)
+
+// DurableConfig tunes the durability subsystem around an engine.
+type DurableConfig struct {
+	// Dir is the durability root: WAL segments live directly in it,
+	// snapshots under Dir/checkpoints.
+	Dir string
+	// CheckpointInterval enables the background checkpointer when > 0.
+	CheckpointInterval time.Duration
+	// KeepCheckpoints bounds retained snapshots. Default: 2.
+	KeepCheckpoints int
+	// SegmentBytes / QueueDepth / NoSync pass through to the WAL.
+	SegmentBytes int64
+	QueueDepth   int
+	NoSync       bool
+	// Checkpoint, when set, skips discovery: recovery restores from this
+	// pre-loaded snapshot (CheckpointPath names it for stats). Callers that
+	// need the watermark before building the engine (e.g. to base a replay
+	// ring) load it via LatestCheckpoint and hand it over here.
+	Checkpoint     *snapshot.Checkpoint
+	CheckpointPath string
+	// Logf, when set, receives checkpointer progress and errors.
+	Logf func(format string, args ...any)
+}
+
+func (d *DurableConfig) fill() {
+	if d.KeepCheckpoints <= 0 {
+		d.KeepCheckpoints = 2
+	}
+	if d.Logf == nil {
+		d.Logf = func(string, ...any) {}
+	}
+}
+
+// Durable bundles a recovered engine with its WAL and checkpointer.
+type Durable struct {
+	// Eng is the recovered (or fresh) engine; submissions go through it as
+	// usual and are made durable by the attached WAL.
+	Eng *Engine
+	// Log is the arrival WAL. Owned by the Durable handle: Close closes it
+	// after the engine.
+	Log *wal.Log
+
+	cfg           DurableConfig
+	recoveredFrom string
+	restored      *snapshot.Checkpoint
+	replayed      int64
+	resumeSeq     int64
+
+	ckptMu       sync.Mutex
+	lastCkptSeq  int64
+	lastCkptPath string
+	lastCkptTime time.Time
+	lastCkptErr  error
+	ckptCount    int64
+	snapshots    int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// DurabilityStats is the /stats health block for the durability subsystem.
+type DurabilityStats struct {
+	WAL wal.Stats `json:"wal"`
+	// RecoveredFrom is the snapshot file this process booted from (empty for
+	// a cold start); Replayed counts the WAL arrivals re-run on boot.
+	RecoveredFrom string `json:"recovered_from,omitempty"`
+	Replayed      int64  `json:"replayed"`
+	// ReplayLag is how many durable arrivals the merged output still trails
+	// by — the work a crash right now would replay beyond the WAL's tail.
+	ReplayLag int64 `json:"replay_lag"`
+	// Checkpointer health.
+	Checkpoints              int64   `json:"checkpoints"`
+	SnapshotsRetained        int     `json:"snapshots_retained"`
+	LastCheckpointSeq        int64   `json:"last_checkpoint_seq"`
+	LastCheckpointPath       string  `json:"last_checkpoint_path,omitempty"`
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"` // -1: never
+	LastCheckpointError      string  `json:"last_checkpoint_error,omitempty"`
+}
+
+// CheckpointDir returns the snapshot directory under a durability root.
+func CheckpointDir(dir string) string { return filepath.Join(dir, checkpointSubdir) }
+
+// listCheckpoints returns the snapshot filenames in a checkpoint directory,
+// newest first (the filenames embed the zero-padded watermark, so
+// lexicographic order is watermark order).
+func listCheckpoints(ckptDir string) ([]string, error) {
+	des, err := os.ReadDir(ckptDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if n := de.Name(); !de.IsDir() && strings.HasPrefix(n, ckptPrefix) && strings.HasSuffix(n, ckptSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// ckptSeqFromName parses the watermark out of a snapshot filename.
+func ckptSeqFromName(name string) (int64, bool) {
+	base := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	seq, err := strconv.ParseInt(base, 10, 64)
+	return seq, err == nil && seq >= 0
+}
+
+// LatestCheckpoint finds and loads the newest readable snapshot under a
+// durability root. Corrupt or unreadable snapshots are skipped (the previous
+// one still recovers, at the cost of more WAL replay); a root with no usable
+// snapshot returns ("", nil, nil) — recovery then replays the WAL from zero.
+func LatestCheckpoint(dir string) (string, *snapshot.Checkpoint, error) {
+	names, err := listCheckpoints(CheckpointDir(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, nil
+		}
+		return "", nil, err
+	}
+	for _, n := range names {
+		path := filepath.Join(CheckpointDir(dir), n)
+		c, err := snapshot.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		return path, c, nil
+	}
+	return "", nil, nil
+}
+
+// OpenDurable boots a durable engine from a durability directory: restore
+// the newest snapshot (if any), open the WAL, replay every logged arrival
+// past the snapshot watermark through the normal pipeline, attach the WAL to
+// the live submission path, and start the background checkpointer. The
+// returned engine is at exactly the state an uninterrupted run would hold
+// after the last durable arrival.
+func OpenDurable(sh *core.Shared, cfg Config, d DurableConfig) (*Durable, error) {
+	d.fill()
+	if err := os.MkdirAll(CheckpointDir(d.Dir), 0o755); err != nil {
+		return nil, err
+	}
+	path, ckpt := d.CheckpointPath, d.Checkpoint
+	if ckpt == nil {
+		var err error
+		path, ckpt, err = LatestCheckpoint(d.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	log, err := wal.Open(d.Dir, wal.Options{
+		SegmentBytes: d.SegmentBytes, QueueDepth: d.QueueDepth, NoSync: d.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Durable, error) {
+		log.Close()
+		return nil, err
+	}
+
+	watermark := int64(0)
+	if ckpt != nil {
+		watermark = ckpt.Seq
+	}
+	if st := log.Stats(); st.NextSeq > st.FirstSeq {
+		// Non-empty log: it must connect to the snapshot watermark on both
+		// sides, or exact replay is impossible.
+		if st.FirstSeq > watermark {
+			return fail(fmt.Errorf("engine: wal starts at seq %d, snapshot watermark is %d: arrivals in between are lost", st.FirstSeq, watermark))
+		}
+		if st.NextSeq < watermark {
+			return fail(fmt.Errorf("engine: wal ends at seq %d before snapshot watermark %d: the log is stale", st.NextSeq, watermark))
+		}
+	}
+
+	cfg.WAL = log
+	var eng *Engine
+	if ckpt != nil {
+		eng, err = NewFromSnapshot(sh, cfg, ckpt)
+	} else {
+		eng, err = New(sh, cfg)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	dur := &Durable{
+		Eng: eng, Log: log, cfg: d,
+		recoveredFrom: path, restored: ckpt,
+		lastCkptSeq: -1, lastCkptPath: path,
+		stop: make(chan struct{}),
+	}
+	if ckpt != nil {
+		dur.lastCkptSeq = ckpt.Seq
+	}
+	// Replay the durable suffix through the normal pipeline. The WAL appends
+	// these sequences idempotently (they are already durable), so Submit
+	// behaves exactly as it did the first time.
+	err = log.Replay(watermark, func(e wal.Entry) error {
+		rec, err := core.ArrivalRecord(sh.Schema, e.RID, e.Stream, e.TupleSeq, e.EntityID, e.Values)
+		if err != nil {
+			return err
+		}
+		dur.replayed++
+		return eng.Submit(rec)
+	})
+	if err != nil {
+		eng.Close()
+		return fail(fmt.Errorf("engine: wal replay: %w", err))
+	}
+	dur.resumeSeq = watermark + dur.replayed
+	dur.snapshots = dur.countSnapshots()
+
+	if d.CheckpointInterval > 0 {
+		dur.wg.Add(1)
+		go dur.checkpointLoop()
+	}
+	return dur, nil
+}
+
+// ResumeSeq is the first sequence number the recovered engine will assign to
+// a new arrival — the snapshot watermark plus the replayed WAL suffix.
+func (d *Durable) ResumeSeq() int64 { return d.resumeSeq }
+
+// Replayed is the number of WAL arrivals re-run on boot.
+func (d *Durable) Replayed() int64 { return d.replayed }
+
+// RestoredCheckpoint returns the snapshot recovery booted from (nil for a
+// cold start).
+func (d *Durable) RestoredCheckpoint() *snapshot.Checkpoint { return d.restored }
+
+// checkpointLoop is the background checkpointer.
+func (d *Durable) checkpointLoop() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.cfg.CheckpointInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if _, err := d.CheckpointNow(); err != nil {
+				d.cfg.Logf("background checkpoint: %v", err)
+			}
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// CheckpointNow takes a barrier checkpoint, writes it atomically into the
+// checkpoint directory, prunes old snapshots beyond KeepCheckpoints, and
+// truncates WAL segments older than the oldest snapshot still retained. A
+// watermark that has not advanced since the last checkpoint is a no-op.
+func (d *Durable) CheckpointNow() (string, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	c, err := d.Eng.Checkpoint()
+	if err != nil {
+		d.lastCkptErr = err
+		return "", err
+	}
+	if c.Seq == d.lastCkptSeq {
+		return d.lastCkptPath, nil
+	}
+	path := filepath.Join(CheckpointDir(d.cfg.Dir), fmt.Sprintf("%s%020d%s", ckptPrefix, c.Seq, ckptSuffix))
+	if err := snapshot.WriteFile(path, c); err != nil {
+		d.lastCkptErr = err
+		return "", err
+	}
+	d.lastCkptSeq = c.Seq
+	d.lastCkptPath = path
+	d.lastCkptTime = time.Now()
+	d.lastCkptErr = nil
+	d.ckptCount++
+	d.cfg.Logf("checkpoint %s (watermark %d, %d residents, %d live pairs)",
+		path, c.Seq, len(c.Residents), len(c.Pairs))
+	if err := d.prune(c.Seq); err != nil {
+		d.lastCkptErr = err
+		return path, err
+	}
+	return path, nil
+}
+
+// prune removes snapshots beyond KeepCheckpoints, then truncates the WAL to
+// the OLDEST snapshot still retained — not the newest: if the newest ever
+// turns out unreadable, LatestCheckpoint falls back to an older one, and
+// that one still needs its WAL suffix for exact recovery.
+func (d *Durable) prune(newest int64) error {
+	dir := CheckpointDir(d.cfg.Dir)
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	keep := min(len(names), d.cfg.KeepCheckpoints)
+	for _, n := range names[keep:] {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil {
+			return err
+		}
+	}
+	d.snapshots = keep
+	oldest := newest
+	if keep > 0 {
+		if seq, ok := ckptSeqFromName(names[keep-1]); ok {
+			oldest = seq
+		}
+	}
+	return d.Log.TruncateBefore(oldest)
+}
+
+func (d *Durable) countSnapshots() int {
+	names, err := listCheckpoints(CheckpointDir(d.cfg.Dir))
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+// Stats reports WAL and checkpointer health for /stats.
+func (d *Durable) Stats() DurabilityStats {
+	st := DurabilityStats{
+		WAL:           d.Log.Stats(),
+		RecoveredFrom: d.recoveredFrom,
+		Replayed:      d.replayed,
+	}
+	if lag := st.WAL.DurableSeq - d.Eng.Completed(); lag > 0 {
+		st.ReplayLag = lag
+	}
+	d.ckptMu.Lock()
+	st.Checkpoints = d.ckptCount
+	st.SnapshotsRetained = d.snapshots
+	st.LastCheckpointSeq = d.lastCkptSeq
+	st.LastCheckpointPath = d.lastCkptPath
+	st.LastCheckpointAgeSeconds = -1
+	if !d.lastCkptTime.IsZero() {
+		st.LastCheckpointAgeSeconds = time.Since(d.lastCkptTime).Seconds()
+	}
+	if d.lastCkptErr != nil {
+		st.LastCheckpointError = d.lastCkptErr.Error()
+	}
+	d.ckptMu.Unlock()
+	return st
+}
+
+// Close stops the checkpointer, drains and closes the engine, optionally
+// writes one final checkpoint (so a clean restart replays nothing), and
+// closes the WAL.
+func (d *Durable) Close(finalCheckpoint bool) error {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+	errEng := d.Eng.Close()
+	var errCkpt error
+	if finalCheckpoint && errEng == nil {
+		// A drained, closed engine stays checkpointable; this captures the
+		// complete final state.
+		if _, err := d.CheckpointNow(); err != nil {
+			errCkpt = fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
+	errLog := d.Log.Close()
+	return errors.Join(errEng, errCkpt, errLog)
+}

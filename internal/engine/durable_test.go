@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// copyTree clones a durability directory — the crash simulation: the copy is
+// exactly the on-disk state an abrupt kill would leave behind (every Submit
+// that returned had its WAL entry written; checkpoints are atomic).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		s, d := filepath.Join(src, de.Name()), filepath.Join(dst, de.Name())
+		if de.IsDir() {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, s, d)
+			continue
+		}
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableCrashRecoveryExactReplay is the crash-injection property test
+// of the durability contract: run with a WAL and a mid-stream checkpoint,
+// kill at a pseudo-random point (simulated by cloning the durability
+// directory — the exact bytes a SIGKILL would leave), recover into a fresh
+// engine at a different shard count K→K', and the merged result stream —
+// pair identities, order, and probabilities, replayed and live alike — must
+// be byte-identical to an uninterrupted single-threaded run. Run under -race
+// in CI.
+func TestDurableCrashRecoveryExactReplay(t *testing.T) {
+	f := loadFixture(t)
+	wantPerArrival, wantFinal := runProcessor(t, f)
+	n := len(f.stream)
+
+	rng := rand.New(rand.NewSource(1337))
+	cases := []struct {
+		name  string
+		k, k2 int
+	}{
+		{"K=2 recovered at K=2", 2, 2},
+		{"K=1 resharded to K=3", 1, 3},
+		{"K=4 resharded to K=2", 4, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kill := 2 + rng.Intn(n-3)
+			ckptAt := 1 + rng.Intn(kill-1)
+			dir := t.TempDir()
+
+			first := newCollector()
+			d1, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: tc.k, OnResult: first.onResult},
+				DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range f.stream[:kill] {
+				if err := d1.Eng.Submit(r); err != nil {
+					t.Fatal(err)
+				}
+				if i+1 == ckptAt {
+					if _, err := d1.CheckpointNow(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// The kill: clone the durable state mid-run, then discard the
+			// first engine (its clean close below is only goroutine hygiene —
+			// the recovery works off the clone).
+			crashDir := t.TempDir()
+			copyTree(t, dir, crashDir)
+			if err := d1.Close(false); err != nil {
+				t.Fatal(err)
+			}
+
+			second := newCollector()
+			d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: tc.k2, OnResult: second.onResult},
+				DurableConfig{Dir: crashDir, NoSync: true, SegmentBytes: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d2.ResumeSeq() != int64(kill) {
+				t.Fatalf("recovered engine resumes at %d, want %d (ckpt at %d)", d2.ResumeSeq(), kill, ckptAt)
+			}
+			if d2.Replayed() != int64(kill-ckptAt) {
+				t.Fatalf("replayed %d wal arrivals, want %d", d2.Replayed(), kill-ckptAt)
+			}
+			if d2.RestoredCheckpoint() == nil || d2.RestoredCheckpoint().Seq != int64(ckptAt) {
+				t.Fatalf("recovery did not restore the checkpoint at %d", ckptAt)
+			}
+			for _, r := range f.stream[kill:] {
+				if err := d2.Eng.Submit(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := d2.Stats()
+			if err := d2.Close(true); err != nil {
+				t.Fatal(err)
+			}
+			if st.WAL.NextSeq != int64(n) {
+				t.Fatalf("wal frontier %d after full stream, want %d", st.WAL.NextSeq, n)
+			}
+
+			// Replayed ([ckptAt, kill)) and live ([kill, n)) results must be
+			// byte-identical to the uninterrupted reference; the pre-crash
+			// prefix already was.
+			for i := 0; i < n; i++ {
+				got, ok := first.pairs[int64(i)]
+				if i >= ckptAt {
+					got, ok = second.pairs[int64(i)]
+				}
+				if !ok {
+					t.Fatalf("arrival %d never finalized (ckpt=%d kill=%d)", i, ckptAt, kill)
+				}
+				if !samePairs(wantPerArrival[i], got) {
+					t.Fatalf("arrival %d (ckpt=%d kill=%d K=%d→%d): got %v, reference %v",
+						i, ckptAt, kill, tc.k, tc.k2, got, wantPerArrival[i])
+				}
+			}
+			if !samePairs(wantFinal, d2.Eng.ResultSet()) {
+				t.Fatalf("final entity set differs after crash recovery (ckpt=%d kill=%d)", ckptAt, kill)
+			}
+
+			// A third boot off the final checkpoint replays nothing and lands
+			// at the stream's end — the clean-restart path.
+			d3, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: tc.k, OnResult: newCollector().onResult},
+				DurableConfig{Dir: crashDir, NoSync: true, SegmentBytes: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d3.ResumeSeq() != int64(n) || d3.Replayed() != 0 {
+				t.Fatalf("clean restart resumes at %d with %d replayed, want %d/0", d3.ResumeSeq(), d3.Replayed(), n)
+			}
+			if !samePairs(wantFinal, d3.Eng.ResultSet()) {
+				t.Fatal("clean restart entity set differs")
+			}
+			if err := d3.Close(false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDurableTornTailRecovery: the crash clone additionally loses the tail
+// of its last WAL segment (a torn write). Recovery must resume from the
+// surviving durable prefix and stay byte-identical on it.
+func TestDurableTornTailRecovery(t *testing.T) {
+	f := loadFixture(t)
+	wantPerArrival, _ := runProcessor(t, f)
+	n := len(f.stream)
+	kill := 2 * n / 3
+	ckptAt := n / 3
+	dir := t.TempDir()
+
+	d1, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range f.stream[:kill] {
+		if err := d1.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 == ckptAt {
+			if _, err := d1.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	if err := d1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop bytes off the last segment so the final record is
+	// cut mid-write.
+	des, err := os.ReadDir(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".wal") {
+			segs = append(segs, de.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no wal segments in crash clone")
+	}
+	tail := filepath.Join(crashDir, segs[len(segs)-1])
+	info, err := os.Stat(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tail, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	col := newCollector()
+	d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 3, OnResult: col.onResult},
+		DurableConfig{Dir: crashDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d2.ResumeSeq()
+	if m >= int64(kill) || m < int64(ckptAt) {
+		t.Fatalf("torn-tail recovery resumed at %d, want in [%d,%d)", m, ckptAt, kill)
+	}
+	// The lost arrivals simply re-enter as live submissions, as a restarted
+	// upstream producer would re-send them.
+	for _, r := range f.stream[m:] {
+		if err := d2.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d2.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	for i := int(ckptAt); i < n; i++ {
+		if !samePairs(wantPerArrival[i], col.pairs[int64(i)]) {
+			t.Fatalf("arrival %d diverged after torn-tail recovery (resumed at %d)", i, m)
+		}
+	}
+}
+
+// TestBackgroundCheckpointer: the timer-driven checkpointer writes snapshots,
+// prunes beyond KeepCheckpoints, and truncates obsolete WAL segments.
+func TestBackgroundCheckpointer(t *testing.T) {
+	f := loadFixture(t)
+	dir := t.TempDir()
+	d, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2}, DurableConfig{
+		Dir: dir, NoSync: true, SegmentBytes: 2048,
+		CheckpointInterval: 5 * time.Millisecond, KeepCheckpoints: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit in two halves, waiting for the timer to fire in between: the
+	// checkpointer only writes when the watermark advanced, so each half
+	// guarantees one more snapshot.
+	waitCheckpoints := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for d.Stats().Checkpoints < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("checkpointer stuck at %d checkpoints, want %d", d.Stats().Checkpoints, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	half := len(f.stream) / 2
+	for _, r := range f.stream[:half] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCheckpoints(1)
+	for _, r := range f.stream[half:] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCheckpoints(2)
+	if err := d.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Checkpoints < 2 {
+		t.Fatalf("background checkpointer took %d checkpoints, want >= 2", st.Checkpoints)
+	}
+	if st.SnapshotsRetained > 2 {
+		t.Fatalf("%d snapshots retained, want <= 2", st.SnapshotsRetained)
+	}
+	if st.LastCheckpointSeq != int64(len(f.stream)) {
+		t.Fatalf("final checkpoint at %d, want %d", st.LastCheckpointSeq, len(f.stream))
+	}
+	if st.LastCheckpointAgeSeconds < 0 {
+		t.Fatal("last checkpoint age unreported")
+	}
+	if st.WAL.FirstSeq == 0 {
+		t.Fatalf("wal never truncated: first retained seq still 0 (stats %+v)", st.WAL)
+	}
+	des, err := os.ReadDir(CheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) > 2 {
+		t.Fatalf("%d snapshot files on disk, want <= 2", len(des))
+	}
+}
+
+// TestLatestCheckpointSkipsCorrupt: a corrupt newest snapshot falls back to
+// the previous one (recovery then replays more WAL). Small segments make
+// this bite: pruning truncates the WAL at the OLDEST retained snapshot, so
+// the fallback still has the suffix it needs.
+func TestLatestCheckpointSkipsCorrupt(t *testing.T) {
+	f := loadFixture(t)
+	dir := t.TempDir()
+	d, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, KeepCheckpoints: 2, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range f.stream[:60] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == 29 || i == 49 {
+			if _, err := d.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	newest := filepath.Join(CheckpointDir(dir), fmt.Sprintf("%s%020d%s", ckptPrefix, 50, ckptSuffix))
+	if err := os.WriteFile(newest, []byte("garbage, not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, c, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || c.Seq != 30 {
+		t.Fatalf("fallback checkpoint watermark %v, want 30", c)
+	}
+	if !strings.Contains(path, fmt.Sprintf("%020d", 30)) {
+		t.Fatalf("fallback path %s does not name watermark 30", path)
+	}
+	// Truncation after the second checkpoint must have kept the WAL suffix
+	// of the OLDER snapshot (watermark 30) — otherwise this recovery gaps.
+	d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResumeSeq() != 60 || d2.Replayed() != 30 {
+		t.Fatalf("fallback recovery resumed at %d with %d replayed, want 60/30", d2.ResumeSeq(), d2.Replayed())
+	}
+	st := d2.Stats()
+	if st.WAL.FirstSeq == 0 || st.WAL.FirstSeq > 30 {
+		t.Fatalf("wal first retained seq %d, want in (0,30] (truncated at the oldest retained snapshot)", st.WAL.FirstSeq)
+	}
+	if err := d2.Close(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenDurableRefusesGappedLog: a WAL that starts after the snapshot
+// watermark cannot recover exactly and must be refused.
+func TestOpenDurableRefusesGappedLog(t *testing.T) {
+	f := loadFixture(t)
+	dir := t.TempDir()
+	d, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range f.stream[:80] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == 59 {
+			if _, err := d.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: drop the checkpoint, leaving a WAL that (after truncation at
+	// seq 60) no longer reaches back to sequence zero.
+	if err := os.RemoveAll(CheckpointDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true}); err == nil {
+		t.Fatal("recovery with a gapped WAL must be refused")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"terids/internal/prune"
 	"terids/internal/stream"
 	"terids/internal/tuple"
+	"terids/internal/wal"
 )
 
 // ErrOverloaded is returned by TrySubmit when the ingest queue is full
@@ -74,6 +75,15 @@ type Config struct {
 	// arrival, in submission order. It must not call back into the engine's
 	// submission path or Checkpoint (both would deadlock the merger).
 	OnResult func(Result)
+	// WAL, when set, makes every accepted arrival durable before it enters
+	// the pipeline: Submit reserves the arrival's slot in the log under the
+	// submission lock (preserving sequence order) and then waits for the
+	// group commit outside it, so concurrent submitters share fsyncs. A
+	// result is only ever emitted for an arrival the log already holds.
+	// Appends during recovery replay are idempotent no-ops (the log already
+	// holds those sequences). The engine does not own the log: closing the
+	// engine leaves it open, and it must outlive the engine.
+	WAL *wal.Log
 }
 
 func (c *Config) fill() {
@@ -145,6 +155,11 @@ type Engine struct {
 
 	subMu  sync.Mutex // serializes submissions (seq assignment + imputeIn send) + closed
 	closed bool
+	// inflight tracks durable-path submitters between WAL reservation and
+	// pipeline injection; Close waits for them before closing imputeIn (a
+	// reserved sequence number MUST reach the pipeline, or the merger's
+	// reorder buffer would wait for it forever).
+	inflight sync.WaitGroup
 	// seq is written only under subMu; atomic so Stats() can read it
 	// without queueing behind a backpressured Submit.
 	seq atomic.Int64
@@ -318,32 +333,89 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 			r.RID, r.Stream, e.cfg.Core.Streams, ErrInvalidRecord)
 	}
 	e.subMu.Lock()
-	defer e.subMu.Unlock()
 	if e.closed {
+		e.subMu.Unlock()
 		return ErrClosed
 	}
 	if err := e.Err(); err != nil {
+		e.subMu.Unlock()
 		return err
 	}
 	it := &item{seq: e.seq.Load(), rec: r}
-	if wait {
-		select {
-		case e.imputeIn <- it:
-		case <-e.ctx.Done():
-			if err := e.Err(); err != nil {
-				return err
+	if e.cfg.WAL == nil {
+		defer e.subMu.Unlock()
+		if wait {
+			select {
+			case e.imputeIn <- it:
+			case <-e.ctx.Done():
+				if err := e.Err(); err != nil {
+					return err
+				}
+				return ErrClosed
 			}
-			return ErrClosed
+		} else {
+			select {
+			case e.imputeIn <- it:
+			default:
+				return ErrOverloaded
+			}
 		}
-	} else {
-		select {
-		case e.imputeIn <- it:
-		default:
+		e.seq.Add(1)
+		return nil
+	}
+	// Durable path: once the slot is reserved the arrival is committed to
+	// the pipeline, so the non-blocking check happens up front (a full
+	// ingest queue may still briefly block below if it fills in between).
+	if !wait && len(e.imputeIn) == cap(e.imputeIn) {
+		e.subMu.Unlock()
+		return ErrOverloaded
+	}
+	tk, err := e.cfg.WAL.Reserve(walEntry(it.seq, r), wait)
+	if err != nil {
+		e.subMu.Unlock()
+		if errors.Is(err, wal.ErrFull) {
 			return ErrOverloaded
 		}
+		return fmt.Errorf("engine: wal reserve: %w", err)
 	}
 	e.seq.Add(1)
-	return nil
+	e.inflight.Add(1)
+	e.subMu.Unlock()
+	defer e.inflight.Done()
+	// Wait for the group commit outside the submission lock, so concurrent
+	// submitters batch into shared fsyncs.
+	if err := tk.Wait(); err != nil {
+		err = fmt.Errorf("engine: wal append: %w", err)
+		e.fail(err)
+		return err
+	}
+	select {
+	case e.imputeIn <- it:
+		return nil
+	case <-e.ctx.Done():
+		// Only a pipeline failure cancels the context while submitters are
+		// inflight (Close waits for us first).
+		if err := e.Err(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+}
+
+// walEntry converts one accepted arrival into its log form.
+func walEntry(seq int64, r *tuple.Record) wal.Entry {
+	vals := make([]string, r.D())
+	for j := range vals {
+		vals[j] = r.Value(j)
+	}
+	return wal.Entry{
+		Seq:      seq,
+		RID:      r.RID,
+		Stream:   r.Stream,
+		TupleSeq: r.Seq,
+		EntityID: r.EntityID,
+		Values:   vals,
+	}
 }
 
 // Close drains the pipeline (every submitted arrival is fully processed),
@@ -351,11 +423,16 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 // engine cannot be reused afterwards; the final entity set stays readable.
 func (e *Engine) Close() error {
 	e.subMu.Lock()
-	if !e.closed {
-		e.closed = true
+	first := !e.closed
+	e.closed = true
+	e.subMu.Unlock()
+	if first {
+		// Durable-path submitters between WAL reservation and injection must
+		// finish before the intake channel closes: their sequence numbers
+		// are already assigned and the merger is waiting for them.
+		e.inflight.Wait()
 		close(e.imputeIn)
 	}
-	e.subMu.Unlock()
 	e.mergeWG.Wait()
 	e.cancel()
 	return e.Err()

@@ -486,7 +486,15 @@ func WriteFile(path string, c *Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	// Fsync the directory so the rename itself is durable: callers (e.g. the
+	// WAL checkpointer) delete now-redundant state right after WriteFile
+	// returns, and a power loss must not be able to lose both.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ReadFile loads and verifies a checkpoint from path.
