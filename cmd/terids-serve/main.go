@@ -23,7 +23,11 @@
 //	                writes it server-side under -checkpoint-dir (disabled
 //	                unless that flag is set), otherwise the binary
 //	                checkpoint is the response body.
-//	GET  /stats     engine + server counters as JSON.
+//	POST /rebalance admin trigger for an online shard rebalance (barrier →
+//	                weighted layout → resume); ?shards=K changes the shard
+//	                count, ?weighted=0 uses the uniform modulo layout.
+//	GET  /stats     engine + server counters as JSON, including per-shard
+//	                residents, the imbalance ratio, and rebalance counters.
 //	GET  /healthz   liveness.
 //
 // Operations: -wal-dir <dir> turns on the durability subsystem — every
@@ -37,7 +41,11 @@
 // lines get 429 with Retry-After). -restore <file> boots the engine from an
 // explicit checkpoint instead (mutually exclusive with -wal-dir);
 // -checkpoint-on-exit <file> makes SIGINT/SIGTERM drain the pipeline and
-// write a final checkpoint before exiting.
+// write a final checkpoint before exiting. -rebalance-threshold plus
+// -rebalance-interval enable the adaptive skew monitor: when topic skew
+// keeps the most loaded shard over threshold × the per-shard mean, the
+// engine rebalances online (checkpoints carry the layout, so -wal-dir
+// recovery resumes balanced).
 //
 // Usage:
 //
@@ -94,6 +102,8 @@ func main() {
 		ckptKeep   = flag.Int("checkpoint-keep", 2, "snapshots retained under -wal-dir (older ones and their WAL segments are pruned)")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-stream ingest rate limit in tuples/sec (0 = unlimited; over-limit gets 429 + Retry-After)")
 		rateBurst  = flag.Int("rate-burst", 0, "per-stream token-bucket burst (0 = one second's worth of -rate-limit)")
+		rebThresh  = flag.Float64("rebalance-threshold", 0, "imbalance ratio (max shard residents / mean) arming an automatic online rebalance (0 = disabled; requires -rebalance-interval)")
+		rebEvery   = flag.Duration("rebalance-interval", 0, "skew monitor sampling period (required with -rebalance-threshold)")
 	)
 	flag.Parse()
 	if err := (cliutil.Params{
@@ -105,6 +115,11 @@ func main() {
 	if err := (cliutil.Durability{
 		WALDir: *walDir, Restore: *restore,
 		CheckpointInterval: *ckptEvery, CheckpointKeep: *ckptKeep,
+	}).Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := (cliutil.Rebalance{
+		Threshold: *rebThresh, Interval: *rebEvery,
 	}).Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -170,6 +185,9 @@ func main() {
 		Shards:     *shards,
 		QueueDepth: *queue,
 		OnResult:   srv.onResult,
+		Rebalance: engine.RebalanceConfig{
+			Threshold: *rebThresh, Interval: *rebEvery, Logf: log.Printf,
+		},
 	}
 	var eng *engine.Engine
 	var dur *engine.Durable

@@ -63,6 +63,13 @@ func (l *rateLimiter) allow(stream int) (bool, time.Duration) {
 		return true, 0
 	}
 	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait <= 0 {
+		// Float roundoff: a deficit below one token can compute to a
+		// sub-nanosecond wait, which the Duration conversion truncates to
+		// zero — and a denial with a zero wait reads as "retry now". A
+		// denial always implies a positive wait.
+		wait = time.Nanosecond
+	}
 	return false, wait
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -55,6 +57,100 @@ func TestRateLimiterBuckets(t *testing.T) {
 	var nilLimiter *rateLimiter
 	if ok, _ := nilLimiter.allow(3); !ok {
 		t.Fatal("nil limiter must allow")
+	}
+}
+
+// TestRateLimiterDenialWaitAlwaysPositive pins the float-roundoff fix: a
+// refill that lands the bucket a hair under one token (1/3 s at 3 tokens/s
+// leaves 0.999…) produces a sub-nanosecond deficit whose Duration conversion
+// used to truncate to zero — a denial must always report a positive wait,
+// and Retry-After must never be zero or negative.
+func TestRateLimiterDenialWaitAlwaysPositive(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(3, 1)
+	l.now = func() time.Time { return now }
+	if ok, _ := l.allow(0); !ok {
+		t.Fatal("burst token denied")
+	}
+	for i := 0; i < 50; i++ {
+		now = now.Add(time.Second / 3)
+		ok, wait := l.allow(0)
+		if !ok {
+			if wait <= 0 {
+				t.Fatalf("iteration %d: denial reported wait %v, want > 0", i, wait)
+			}
+			if ra := retryAfterSeconds(wait); ra < 1 {
+				t.Fatalf("iteration %d: Retry-After %d, want >= 1", i, ra)
+			}
+		}
+	}
+}
+
+// TestRateLimiterConcurrentStreams hammers M stream buckets from N
+// goroutines each under -race: token grants stay exactly conserved per
+// bucket (no over-grant under contention), buckets are isolated, and every
+// denial carries a positive wait. The clock is frozen, so each bucket can
+// grant precisely its burst.
+func TestRateLimiterConcurrentStreams(t *testing.T) {
+	const (
+		streams    = 8
+		goroutines = 6
+		attempts   = 200
+		burst      = 17
+	)
+	now := time.Unix(2000, 0)
+	l := newRateLimiter(5, burst)
+	l.now = func() time.Time { return now }
+
+	var granted [streams]atomic.Int64
+	var badWaits atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				for s := 0; s < streams; s++ {
+					ok, wait := l.allow(s)
+					if ok {
+						granted[s].Add(1)
+					} else if wait <= 0 || retryAfterSeconds(wait) < 1 {
+						badWaits.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for s := 0; s < streams; s++ {
+		if got := granted[s].Load(); got != burst {
+			t.Errorf("stream %d granted %d tokens under a frozen clock, want exactly the burst %d", s, got, burst)
+		}
+	}
+	if n := badWaits.Load(); n != 0 {
+		t.Errorf("%d denials reported a zero/negative wait or Retry-After < 1", n)
+	}
+
+	// Refill one token and race for it: exactly one goroutine may win it per
+	// bucket — bucket isolation and conservation under contention.
+	now = now.Add(time.Second / 5)
+	var wins [streams]atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < streams; s++ {
+				if ok, _ := l.allow(s); ok {
+					wins[s].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for s := 0; s < streams; s++ {
+		if got := wins[s].Load(); got != 1 {
+			t.Errorf("stream %d granted %d refilled tokens, want exactly 1", s, got)
+		}
 	}
 }
 

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"terids/internal/cliutil"
 	"terids/internal/engine"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
@@ -67,6 +69,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /rebalance", s.handleRebalance)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
@@ -372,6 +375,47 @@ func (s *server) handleSnapshot(rw http.ResponseWriter, req *http.Request) {
 		// Headers are gone; the truncated body fails the client's checksum.
 		return
 	}
+}
+
+// handleRebalance is the admin trigger for an online shard rebalance:
+// barrier-checkpoint, restore under a new layout, resume — ingest blocks for
+// the duration, results are never lost or duplicated. ?shards=K changes the
+// shard count (default: keep it); the layout is weighted by the observed
+// per-topic resident load unless ?weighted=0 asks for the uniform modulo
+// table. Responds with the before/after imbalance and the barrier latency.
+func (s *server) handleRebalance(rw http.ResponseWriter, req *http.Request) {
+	before := s.eng.Stats()
+	k := before.Shards
+	if q := req.URL.Query().Get("shards"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > cliutil.MaxShards {
+			http.Error(rw, fmt.Sprintf("bad shards=%q: integer in [1,%d] required", q, cliutil.MaxShards),
+				http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	var layout engine.Layout
+	if req.URL.Query().Get("weighted") == "0" {
+		layout = engine.DefaultLayout(k)
+	} else {
+		layout = s.eng.BalancedLayout(k)
+	}
+	start := time.Now()
+	if err := s.eng.Rebalance(layout); err != nil {
+		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	after := s.eng.Stats()
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"shards":           after.Shards,
+		"seq":              after.Rebalance.LastSeq,
+		"duration_ms":      float64(time.Since(start).Microseconds()) / 1000,
+		"imbalance_before": before.Imbalance,
+		"imbalance_after":  after.Imbalance,
+		"rebalances":       after.Rebalance.Rebalances,
+	})
 }
 
 // checkpointPath resolves a client-supplied checkpoint name inside the

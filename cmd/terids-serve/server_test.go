@@ -17,6 +17,7 @@ import (
 	"terids/internal/dataset"
 	"terids/internal/engine"
 	"terids/internal/snapshot"
+	"terids/internal/testutil"
 	"terids/internal/tuple"
 )
 
@@ -598,6 +599,160 @@ func TestServeIngestRateLimit(t *testing.T) {
 	srv.limiter.mu.Unlock()
 	if nBuckets > f.cfg.Streams {
 		t.Fatalf("limiter holds %d buckets for %d streams: invalid ids leaked in", nBuckets, f.cfg.Streams)
+	}
+}
+
+// TestServeCrashRestartRingRebuild is the black-box restart test of the
+// ring-rebuild path: ingest over HTTP, SIGKILL-style teardown (the durability
+// directory is cloned mid-flight, exactly the bytes a kill -9 leaves — no
+// drain, no exit checkpoint), reboot a -wal-dir server on the clone, and a
+// /results?from= cursor taken before the crash must resume across the
+// restart without a 410, serving the gap from the recovery-rebuilt ring.
+func TestServeCrashRestartRingRebuild(t *testing.T) {
+	f := loadServeFixture(t)
+	dir := t.TempDir()
+
+	srv1, dur1, ts1 := startDurableServer(t, f, 2, dir)
+	ingest(t, ts1, f.stream[:40])
+	if _, err := dur1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, ts1, f.stream[40:100])
+	// The kill: clone the durable state while the server is still up. The
+	// teardown below is only goroutine hygiene — recovery works off the
+	// clone, which never saw a graceful close.
+	crashDir := t.TempDir()
+	testutil.CopyTree(t, dir, crashDir)
+	close(srv1.done)
+	ts1.Close()
+	if err := dur1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, dur2, ts2 := startDurableServer(t, f, 4, crashDir)
+	defer func() {
+		close(srv2.done)
+		ts2.Close()
+		_ = dur2.Close(false)
+	}()
+	if dur2.ResumeSeq() != 100 || dur2.Replayed() != 60 {
+		t.Fatalf("crash recovery resumed at %d with %d replayed, want 100/60", dur2.ResumeSeq(), dur2.Replayed())
+	}
+	// The pre-crash cursor spans the restart: sequences [50, 100) stream
+	// back in order with their original RIDs — no 410, no gap, no rewind.
+	lines := readResults(t, ts2, "?from=50", 50)
+	for i, line := range lines {
+		if line.Seq != int64(50+i) {
+			t.Fatalf("line %d has seq %d, want %d", i, line.Seq, 50+i)
+		}
+		if line.RID != f.stream[50+i].RID {
+			t.Fatalf("seq %d replayed rid %s, want %s", line.Seq, line.RID, f.stream[50+i].RID)
+		}
+	}
+	// Live ingest continues seamlessly past the recovered frontier.
+	ingest(t, ts2, f.stream[100:110])
+	cont := readResults(t, ts2, "?from=98", 12)
+	if cont[0].Seq != 98 || cont[11].Seq != 109 {
+		t.Fatalf("spanning read covers [%d,%d], want [98,109]", cont[0].Seq, cont[11].Seq)
+	}
+}
+
+// TestServeRebalanceEndpoint drives the admin rebalance over HTTP: shard
+// count change + weighted layout mid-ingest, surfaced counters in /stats,
+// parameter validation, and — the part that matters — a final entity set
+// identical to the uninterrupted single-threaded reference.
+func TestServeRebalanceEndpoint(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts := startServer(t, f, 2, 4096, nil)
+	mid := len(f.stream) / 2
+	ingest(t, ts, f.stream[:mid])
+
+	resp, err := http.Post(ts.URL+"/rebalance?shards=4", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Shards          int     `json:"shards"`
+		Seq             int64   `json:"seq"`
+		DurationMS      float64 `json:"duration_ms"`
+		ImbalanceBefore float64 `json:"imbalance_before"`
+		ImbalanceAfter  float64 `json:"imbalance_after"`
+		Rebalances      int64   `json:"rebalances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /rebalance: status %d", resp.StatusCode)
+	}
+	if out.Shards != 4 || out.Seq != int64(mid) || out.Rebalances != 1 {
+		t.Fatalf("rebalance reply %+v, want shards=4 seq=%d rebalances=1", out, mid)
+	}
+	if out.DurationMS <= 0 {
+		t.Fatalf("rebalance reported duration %v ms", out.DurationMS)
+	}
+
+	// Ingest continues on the rebalanced engine; the merged output must be
+	// untouched by the layout change.
+	ingest(t, ts, f.stream[mid:])
+	if _, err := srv.eng.Checkpoint(); err != nil { // barrier = drain
+		t.Fatal(err)
+	}
+	proc, err := core.NewProcessor(f.sh, f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream {
+		if _, err := proc.Advance(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := proc.Results().Pairs()
+	got := srv.eng.ResultSet()
+	if len(got) != len(want) {
+		t.Fatalf("final entity set after rebalance: %d pairs, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].A.RID != want[i].A.RID || got[i].B.RID != want[i].B.RID || got[i].Prob != want[i].Prob {
+			t.Fatalf("final pair %d differs after rebalance: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// /stats surfaces the shard count, per-shard residents, the imbalance
+	// ratio, and the rebalance counters.
+	st := getStats(t, ts)
+	engStats, ok := st["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no engine block: %v", st)
+	}
+	if got := engStats["shards"].(float64); got != 4 {
+		t.Fatalf("/stats engine.shards %v, want 4", got)
+	}
+	if perShard := engStats["per_shard"].([]any); len(perShard) != 4 {
+		t.Fatalf("/stats per_shard has %d entries, want 4", len(perShard))
+	}
+	if _, ok := engStats["imbalance"].(float64); !ok {
+		t.Fatalf("/stats engine.imbalance missing: %v", engStats)
+	}
+	reb, ok := engStats["rebalance"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no rebalance block: %v", engStats)
+	}
+	if got := reb["rebalances"].(float64); got != 1 {
+		t.Fatalf("/stats rebalance.rebalances %v, want 1", got)
+	}
+
+	// Parameter validation: shard counts outside [1, MaxShards] are 400s.
+	for _, bad := range []string{"0", "-2", "9999", "abc"} {
+		resp, err := http.Post(ts.URL+"/rebalance?shards="+bad, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST /rebalance?shards=%s: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }
 

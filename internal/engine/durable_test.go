@@ -8,34 +8,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"terids/internal/testutil"
 )
 
-// copyTree clones a durability directory — the crash simulation: the copy is
-// exactly the on-disk state an abrupt kill would leave behind (every Submit
-// that returned had its WAL entry written; checkpoints are atomic).
+// copyTree is the SIGKILL simulation (see testutil.CopyTree): every Submit
+// that returned had its WAL entry written; checkpoints are atomic.
 func copyTree(t *testing.T, src, dst string) {
 	t.Helper()
-	des, err := os.ReadDir(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, de := range des {
-		s, d := filepath.Join(src, de.Name()), filepath.Join(dst, de.Name())
-		if de.IsDir() {
-			if err := os.MkdirAll(d, 0o755); err != nil {
-				t.Fatal(err)
-			}
-			copyTree(t, s, d)
-			continue
-		}
-		b, err := os.ReadFile(s)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(d, b, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
+	testutil.CopyTree(t, src, dst)
 }
 
 // TestDurableCrashRecoveryExactReplay is the crash-injection property test

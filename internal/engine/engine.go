@@ -84,6 +84,9 @@ type Config struct {
 	// holds those sequences). The engine does not own the log: closing the
 	// engine leaves it open, and it must outlive the engine.
 	WAL *wal.Log
+	// Rebalance configures the adaptive skew monitor (see rebalance.go).
+	// The zero value disables it; manual Rebalance calls work regardless.
+	Rebalance RebalanceConfig
 }
 
 func (c *Config) fill() {
@@ -131,6 +134,9 @@ type profileOut struct {
 	im    *tuple.Imputed
 	prof  *prune.Profile
 	homes []int
+	// slot is the layout slot the arrival's residency is charged to (-1 for
+	// broadcast residents) — the rebalancer's movable unit of load.
+	slot int
 }
 
 // header is the router → merger side channel: per-arrival bookkeeping the
@@ -168,6 +174,13 @@ type Engine struct {
 	// router's and merger's reorder buffers release from it.
 	startSeq int64
 
+	// stateMu guards the fields a Rebalance swaps out — shards, shardCh,
+	// layout, cfg.Shards, the pipeline channels, the windows — against
+	// concurrent readers outside the pipeline (Stats, Imbalance,
+	// BalancedLayout). Pipeline goroutines never take it: they are created
+	// after a swap completes and stopped before the next one begins.
+	stateMu sync.RWMutex
+
 	imputeIn   chan *item
 	imputedOut chan *item
 	shardCh    []chan shardCmd
@@ -178,13 +191,23 @@ type Engine struct {
 	shardWG  sync.WaitGroup
 	mergeWG  sync.WaitGroup
 
-	// windows is the router-owned sequential stream state; live is the
-	// router-owned resident RID set (duplicate rejection).
+	// windows is the router-owned sequential stream state; live maps each
+	// resident RID (duplicate rejection) to the layout slot its residency is
+	// charged to (-1 for broadcast residents).
 	windows  *stream.MultiWindow
 	timeWins []*stream.TimeWindow
-	live     map[string]struct{}
+	live     map[string]int
 
 	shards []*shard
+	// layout is the topic-hash slot → shard table (see rebalance.go);
+	// slotWeight counts single-home residents per slot (router-written,
+	// monitor-read), the weights BalancedLayout packs.
+	layout     []int
+	slotWeight []atomic.Int64
+
+	reb         rebState
+	monitorStop chan struct{}
+	monitorWG   sync.WaitGroup
 
 	failOnce sync.Once
 	failErr  error
@@ -208,6 +231,7 @@ func New(sh *core.Shared, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.start()
+	e.startMonitor()
 	return e, nil
 }
 
@@ -228,7 +252,9 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 		hdrCh:      make(chan header, cfg.QueueDepth),
 		partials:   make(chan partial, cfg.QueueDepth*cfg.Shards),
 		results:    core.NewResultSet(),
-		live:       make(map[string]struct{}),
+		live:       make(map[string]int),
+		layout:     DefaultLayout(cfg.Shards).Slots,
+		slotWeight: make([]atomic.Int64, LayoutSlots),
 	}
 	e.drained = sync.NewCond(&e.resultsMu)
 	e.ctx, e.cancel = context.WithCancel(context.Background())
@@ -427,6 +453,13 @@ func (e *Engine) Close() error {
 	e.closed = true
 	e.subMu.Unlock()
 	if first {
+		// The skew monitor must stop before intake closes: a rebalance in
+		// flight holds the submission lock until it finishes, and the next
+		// trigger would hit ErrClosed anyway.
+		if e.monitorStop != nil {
+			close(e.monitorStop)
+		}
+		e.monitorWG.Wait()
 		// Durable-path submitters between WAL reservation and injection must
 		// finish before the intake channel closes: their sequence numbers
 		// are already assigned and the merger is waiting for them.
@@ -448,7 +481,7 @@ func (e *Engine) imputeWorker() {
 		sw.Start()
 		prof := e.step.Profile(im)
 		out := &profileOut{im: im, prof: prof}
-		out.homes = e.homeShards(prof)
+		out.homes, out.slot = e.homeShards(prof)
 		bd.ER += sw.Lap() // profile construction is ER-phase cost in core
 		e.acc.AddBreakdown(bd)
 		it.prof = out
@@ -509,9 +542,15 @@ func (e *Engine) route(it *item) bool {
 	var rids []string
 	for _, x := range expired {
 		rids = append(rids, x.RID)
+		if slot, ok := e.live[x.RID]; ok && slot >= 0 {
+			e.slotWeight[slot].Add(-1)
+		}
 		delete(e.live, x.RID)
 	}
-	e.live[it.rec.RID] = struct{}{}
+	e.live[it.rec.RID] = it.prof.slot
+	if it.prof.slot >= 0 {
+		e.slotWeight[it.prof.slot].Add(1)
+	}
 	hdr := header{seq: it.seq, rid: it.rec.RID, expired: rids}
 	select {
 	case e.hdrCh <- hdr:

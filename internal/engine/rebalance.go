@@ -1,0 +1,482 @@
+// Adaptive shard rebalancing: real streams are topic-skewed (the Zipfian
+// case of the TER experiments), so a static topic-hash partitioning slowly
+// concentrates residents — and therefore resolution work — on a few shards,
+// eroding the K-way speedup the engine exists to deliver. The rebalancer
+// watches per-shard resident counts and insert rates, and when the imbalance
+// ratio stays over a configured threshold for a sustained window it performs
+// an online rebalance: barrier-checkpoint at the current watermark, rebuild
+// the router/window/shard state under a new Layout (a weighted topic-slot →
+// shard table, and optionally a new K), and resume — in place, on the same
+// *Engine, with zero lost or duplicated results. The WAL, the background
+// checkpointer, and every OnResult subscriber stay attached throughout;
+// checkpoints taken after a rebalance carry the layout (snapshot format v2)
+// so crash recovery resumes balanced.
+//
+// Correctness is inherited, not re-proven: residency is pure load placement
+// (resolution broadcasts to all shards), so any layout emits byte-identical
+// pairs, and the rebalance itself is checkpoint + restore — the exact path
+// the K→K' reshard property tests already pin down.
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"terids/internal/snapshot"
+	"terids/internal/stream"
+)
+
+// LayoutSlots is the size of the topic-hash slot table. 256 slots gives the
+// balancer fine-grained movable units while keeping the table a few hundred
+// bytes in every checkpoint.
+const LayoutSlots = 256
+
+// maxAdoptShards bounds the shard count an auto-sizing restore (Shards == 0)
+// will adopt from a checkpoint. Checkpoints are CRC-checked, not
+// authenticated: a tampered Shards field must not be able to make recovery
+// spawn an arbitrary number of goroutines and grids. Mirrors
+// cliutil.MaxShards, the cap every flag path enforces.
+const maxAdoptShards = 64
+
+// Layout is a shard placement policy: K grid partitions and the slot table
+// assigning each topic-hash slot to one of them.
+type Layout struct {
+	// K is the shard count.
+	K int
+	// Slots maps hash slot → owning shard, length LayoutSlots. Nil means
+	// the default modulo assignment.
+	Slots []int
+}
+
+// DefaultLayout is the uniform modulo assignment of slots to k shards.
+func DefaultLayout(k int) Layout {
+	l := Layout{K: k, Slots: make([]int, LayoutSlots)}
+	for i := range l.Slots {
+		l.Slots[i] = i % k
+	}
+	return l
+}
+
+// normalized validates the layout and fills a nil slot table with the
+// default assignment.
+func (l Layout) normalized() (Layout, error) {
+	if l.K < 1 {
+		return Layout{}, fmt.Errorf("engine: layout shard count %d, need >= 1", l.K)
+	}
+	if l.Slots == nil {
+		return DefaultLayout(l.K), nil
+	}
+	if len(l.Slots) != LayoutSlots {
+		return Layout{}, fmt.Errorf("engine: layout slot table has %d entries, need %d", len(l.Slots), LayoutSlots)
+	}
+	for s, sh := range l.Slots {
+		if sh < 0 || sh >= l.K {
+			return Layout{}, fmt.Errorf("engine: layout slot %d assigned to shard %d of %d", s, sh, l.K)
+		}
+	}
+	return Layout{K: l.K, Slots: slices.Clone(l.Slots)}, nil
+}
+
+// RebalanceConfig tunes the background skew monitor. The zero value disables
+// it; manual Rebalance calls work either way.
+type RebalanceConfig struct {
+	// Threshold arms a rebalance when the imbalance ratio — the most loaded
+	// shard's residents over the per-shard mean — reaches it. Must be >= 1
+	// to mean anything; 0 disables the monitor.
+	Threshold float64
+	// Interval is the monitor's sampling period. Required when Threshold is
+	// set.
+	Interval time.Duration
+	// Sustain is how many consecutive over-threshold samples must be seen
+	// before firing, so a transient burst does not trigger a barrier.
+	// Default: 2.
+	Sustain int
+	// MinGain bounds thrash: an automatic rebalance only fires if the
+	// projected imbalance under the candidate layout is at most MinGain ×
+	// the current one (a single hot slot cannot be split, so sometimes no
+	// layout helps). Default: 0.9.
+	MinGain float64
+	// Logf, when set, receives rebalance progress and errors.
+	Logf func(format string, args ...any)
+}
+
+func (rc *RebalanceConfig) fill() {
+	if rc.Sustain <= 0 {
+		rc.Sustain = 2
+	}
+	if rc.MinGain <= 0 || rc.MinGain >= 1 {
+		rc.MinGain = 0.9
+	}
+	if rc.Logf == nil {
+		rc.Logf = func(string, ...any) {}
+	}
+}
+
+// RebalanceStats is the rebalancer's health block, surfaced through
+// Engine.Stats and /stats.
+type RebalanceStats struct {
+	// Enabled reports whether the background skew monitor is running;
+	// Threshold is its trigger ratio.
+	Enabled   bool    `json:"enabled"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Rebalances counts completed rebalances (manual + automatic);
+	// AutoRebalances the monitor-fired subset. Skipped counts monitor
+	// triggers suppressed because no layout would meaningfully improve the
+	// imbalance (e.g. one hot slot).
+	Rebalances     int64 `json:"rebalances"`
+	AutoRebalances int64 `json:"auto_rebalances"`
+	Skipped        int64 `json:"skipped"`
+	// LastSeq is the watermark of the newest rebalance; LastImbalance the
+	// imbalance ratio that preceded it; LastDurationMS its barrier→resume
+	// latency.
+	LastSeq        int64   `json:"last_seq"`
+	LastImbalance  float64 `json:"last_imbalance"`
+	LastDurationMS float64 `json:"last_duration_ms"`
+	LastError      string  `json:"last_error,omitempty"`
+}
+
+// rebState is the rebalancer's mutable bookkeeping, under its own lock so
+// Stats() never queues behind a running rebalance.
+type rebState struct {
+	mu       sync.Mutex
+	count    int64
+	auto     int64
+	skipped  int64
+	lastSeq  int64
+	lastImb  float64
+	lastTook time.Duration
+	lastErr  error
+}
+
+// Imbalance is the current skew ratio: the most loaded shard's residents
+// over the per-shard mean (1 = perfectly balanced, K = everything on one
+// shard). An empty engine reports 1.
+func (e *Engine) Imbalance() float64 {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	return imbalanceOf(e.shards)
+}
+
+func imbalanceOf(shards []*shard) float64 {
+	var max, total int64
+	for _, s := range shards {
+		r := s.residents.Load()
+		total += r
+		if r > max {
+			max = r
+		}
+	}
+	if total == 0 || len(shards) == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(shards)) / float64(total)
+}
+
+// BalancedLayout computes a weighted layout over k shards from the observed
+// per-slot resident counts: slots are placed greedily, heaviest first, onto
+// the least-loaded shard (LPT scheduling), so hot topics end up isolated and
+// the cold bulk fills in around them. k <= 0 keeps the current shard count.
+// The result is deterministic for a given weight vector.
+func (e *Engine) BalancedLayout(k int) Layout {
+	e.stateMu.RLock()
+	if k <= 0 {
+		k = e.cfg.Shards
+	}
+	e.stateMu.RUnlock()
+	weights := make([]int64, LayoutSlots)
+	for i := range weights {
+		weights[i] = e.slotWeight[i].Load()
+	}
+	return Layout{K: k, Slots: balancedSlots(weights, k)}
+}
+
+// balancedSlots is the deterministic LPT assignment of weighted slots to k
+// shards. Zero-weight slots carry no residents to move, but future topics
+// will hash into them, so they are spread round-robin instead of all
+// landing on the emptiest shard.
+func balancedSlots(weights []int64, k int) []int {
+	slots := make([]int, len(weights))
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	load := make([]int64, k)
+	rr := 0
+	for _, s := range order {
+		if weights[s] == 0 {
+			slots[s] = rr % k
+			rr++
+			continue
+		}
+		best := 0
+		for sh := 1; sh < k; sh++ {
+			if load[sh] < load[best] {
+				best = sh
+			}
+		}
+		slots[s] = best
+		load[best] += weights[s]
+	}
+	return slots
+}
+
+// projectedImbalance evaluates a candidate layout against the observed slot
+// weights without touching any engine state.
+func projectedImbalance(weights []int64, l Layout) float64 {
+	load := make([]int64, l.K)
+	var total, max int64
+	for s, w := range weights {
+		load[l.Slots[s]] += w
+		total += w
+	}
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(l.K) / float64(total)
+}
+
+// Rebalance performs an online layout change on the running engine: barrier
+// checkpoint, rebuild the router/window/shard state under l (which may
+// change K), restore the residents, and resume — all without losing or
+// duplicating a single result. Submissions block for the duration; the WAL,
+// counters, result set, and OnResult sink carry over untouched. It must not
+// be called from OnResult (like Checkpoint, it waits for the merger to
+// drain).
+func (e *Engine) Rebalance(l Layout) error {
+	return e.rebalance(l, false)
+}
+
+func (e *Engine) rebalance(l Layout, auto bool) (err error) {
+	l, err = l.normalized()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	if auto {
+		// The candidate layout was computed before this lock. If a manual
+		// rebalance won the race (different K now) or the skew already
+		// resolved, applying the stale layout would revert the operator's
+		// change — re-validate and stand down instead.
+		if e.cfg.Shards != l.K || imbalanceOf(e.shards) < e.cfg.Rebalance.Threshold {
+			e.reb.mu.Lock()
+			e.reb.skipped++
+			e.reb.mu.Unlock()
+			return nil
+		}
+	}
+	defer func() {
+		e.reb.mu.Lock()
+		e.reb.lastErr = err
+		e.reb.mu.Unlock()
+	}()
+	// Durable-path submitters between WAL reservation and injection carry
+	// already-assigned sequence numbers; they must enter the pipeline before
+	// the barrier can drain to the watermark.
+	e.inflight.Wait()
+	imbBefore := imbalanceOf(e.shards)
+	oldK := e.cfg.Shards
+	c, err := e.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	// The pipeline is idle at the barrier; stop it. Closing intake cascades
+	// the shutdown left to right exactly as Close does, and the merger exits
+	// once every stage has drained.
+	close(e.imputeIn)
+	e.mergeWG.Wait()
+	if err := e.Err(); err != nil {
+		return err
+	}
+	e.stateMu.Lock()
+	err = e.rebuild(l, c)
+	e.stateMu.Unlock()
+	if err != nil {
+		// The old pipeline is gone and the new one never started: the engine
+		// is unusable. Fail it so submitters and Checkpoint see the error.
+		e.closed = true
+		e.fail(err)
+		return err
+	}
+	e.start()
+	took := time.Since(start)
+	e.reb.mu.Lock()
+	e.reb.count++
+	if auto {
+		e.reb.auto++
+	}
+	e.reb.lastSeq = c.Seq
+	e.reb.lastImb = imbBefore
+	e.reb.lastTook = took
+	e.reb.mu.Unlock()
+	e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f) in %v",
+		oldK, l.K, c.Seq, len(c.Residents), imbBefore, took.Round(time.Microsecond))
+	return nil
+}
+
+// rebuild replaces the routing/window/shard state under layout l and
+// reloads the checkpointed residents. Caller holds subMu and stateMu with
+// every pipeline goroutine stopped; the result set and progress counters
+// are already consistent at the watermark and are left untouched.
+func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
+	// Every fallible construction happens into locals first: a failure here
+	// must not publish half-built state (a shards slice with nil entries
+	// would panic a concurrent Stats/Imbalance reader).
+	cc := e.cfg.Core
+	var timeWins []*stream.TimeWindow
+	var windows *stream.MultiWindow
+	if cc.TimeSpan > 0 {
+		timeWins = make([]*stream.TimeWindow, cc.Streams)
+		for i := range timeWins {
+			tw, err := stream.NewTimeWindow(cc.TimeSpan)
+			if err != nil {
+				return err
+			}
+			timeWins[i] = tw
+		}
+	} else {
+		mw, err := stream.NewMultiWindow(cc.Streams, cc.WindowSize)
+		if err != nil {
+			return err
+		}
+		windows = mw
+	}
+	shardCh := make([]chan shardCmd, l.K)
+	shards := make([]*shard, l.K)
+	for i := 0; i < l.K; i++ {
+		g, err := e.step.NewGrid()
+		if err != nil {
+			return err
+		}
+		shardCh[i] = make(chan shardCmd, e.cfg.QueueDepth)
+		shards[i] = newShard(i, e, g)
+	}
+
+	e.cfg.Shards = l.K
+	e.layout = l.Slots
+	e.imputeIn = make(chan *item, e.cfg.QueueDepth)
+	e.imputedOut = make(chan *item, e.cfg.QueueDepth)
+	e.hdrCh = make(chan header, e.cfg.QueueDepth)
+	e.partials = make(chan partial, e.cfg.QueueDepth*l.K)
+	e.timeWins, e.windows = timeWins, windows
+	e.live = make(map[string]int)
+	for i := range e.slotWeight {
+		e.slotWeight[i].Store(0)
+	}
+	e.shardCh, e.shards = shardCh, shards
+	e.startSeq = c.Seq
+	if _, err := e.loadResidents(c); err != nil {
+		return err
+	}
+	return nil
+}
+
+// startMonitor launches the skew monitor when the config enables it. Called
+// once per engine (New / NewFromSnapshot), never by Rebalance.
+func (e *Engine) startMonitor() {
+	rc := &e.cfg.Rebalance
+	rc.fill()
+	if rc.Threshold <= 0 || rc.Interval <= 0 {
+		return
+	}
+	if rc.Threshold < 1 {
+		rc.Threshold = 1
+	}
+	e.monitorStop = make(chan struct{})
+	e.monitorWG.Add(1)
+	go e.monitor()
+}
+
+// monitor samples the imbalance every Interval and fires an automatic
+// rebalance after Sustain consecutive over-threshold samples — unless no
+// candidate layout would improve matters, in which case the trigger is
+// counted as skipped and the clock restarts.
+func (e *Engine) monitor() {
+	defer e.monitorWG.Done()
+	rc := e.cfg.Rebalance
+	tick := time.NewTicker(rc.Interval)
+	defer tick.Stop()
+	over := 0
+	for {
+		select {
+		case <-e.monitorStop:
+			return
+		case <-e.ctx.Done():
+			// Pipeline failure (or a failed rebalance that closed the
+			// engine): no Close() will come to stop the monitor, so it must
+			// notice the cancellation itself instead of ticking forever.
+			return
+		case <-tick.C:
+		}
+		imb := e.Imbalance()
+		if imb < rc.Threshold {
+			over = 0
+			continue
+		}
+		if over++; over < rc.Sustain {
+			continue
+		}
+		over = 0
+		weights := make([]int64, LayoutSlots)
+		for i := range weights {
+			weights[i] = e.slotWeight[i].Load()
+		}
+		e.stateMu.RLock()
+		k := e.cfg.Shards
+		e.stateMu.RUnlock()
+		cand := Layout{K: k, Slots: balancedSlots(weights, k)}
+		if proj := projectedImbalance(weights, cand); proj > imb*rc.MinGain {
+			e.reb.mu.Lock()
+			e.reb.skipped++
+			e.reb.mu.Unlock()
+			rc.Logf("rebalance: skipped at imbalance %.2f (best layout projects %.2f)", imb, proj)
+			continue
+		}
+		switch err := e.rebalance(cand, true); err {
+		case nil:
+		case ErrClosed:
+			return
+		default:
+			rc.Logf("rebalance: %v", err)
+			if e.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// RebalanceStats reports the rebalancer's counters.
+func (e *Engine) RebalanceStats() RebalanceStats {
+	e.reb.mu.Lock()
+	defer e.reb.mu.Unlock()
+	st := RebalanceStats{
+		Enabled:        e.monitorStop != nil,
+		Threshold:      e.cfg.Rebalance.Threshold,
+		Rebalances:     e.reb.count,
+		AutoRebalances: e.reb.auto,
+		Skipped:        e.reb.skipped,
+		LastSeq:        e.reb.lastSeq,
+		LastImbalance:  e.reb.lastImb,
+		LastDurationMS: float64(e.reb.lastTook.Microseconds()) / 1000,
+	}
+	if e.reb.lastErr != nil {
+		st.LastError = e.reb.lastErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"time"
+
+	"terids/internal/core"
+	"terids/internal/tuple"
+)
+
+// zipfStream reorders the fixture stream so topic mass arrives Zipf-skewed:
+// records are bucketed by a topic proxy (the hash of their first attribute)
+// and interleaved with 1/rank² weights, so the head of the stream is
+// dominated by one bucket — the skew pattern the TER experiments highlight
+// and the case a static modulo layout handles worst. Deterministic.
+func zipfStream(recs []*tuple.Record) []*tuple.Record {
+	const buckets = 8
+	type ranked struct {
+		prio float64
+		b, i int
+		r    *tuple.Record
+	}
+	var all []ranked
+	idx := make([]int, buckets)
+	for _, r := range recs {
+		b := int(fnv32a(r.Value(0)) % buckets)
+		w := 1.0 / float64((b+1)*(b+1))
+		idx[b]++
+		all = append(all, ranked{prio: float64(idx[b]) / w, b: b, i: idx[b], r: r})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].prio != all[j].prio {
+			return all[i].prio < all[j].prio
+		}
+		if all[i].b != all[j].b {
+			return all[i].b < all[j].b
+		}
+		return all[i].i < all[j].i
+	})
+	out := make([]*tuple.Record, len(all))
+	for i := range all {
+		out[i] = all[i].r
+	}
+	return out
+}
+
+// runProcessorOn replays an arbitrary record sequence through the
+// single-threaded reference.
+func runProcessorOn(t *testing.T, f fixture, recs []*tuple.Record) ([][]core.Pair, []core.Pair) {
+	t.Helper()
+	proc, err := core.NewProcessor(f.sh, f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perArrival := make([][]core.Pair, 0, len(recs))
+	for _, r := range recs {
+		pairs, err := proc.Advance(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perArrival = append(perArrival, pairs)
+	}
+	return perArrival, proc.Results().Pairs()
+}
+
+func randLayout(rng *rand.Rand, k int) Layout {
+	l := Layout{K: k, Slots: make([]int, LayoutSlots)}
+	for i := range l.Slots {
+		l.Slots[i] = rng.Intn(k)
+	}
+	return l
+}
+
+// TestBalancedSlotsLPT pins the weighted layout construction: heavy slots
+// are isolated, shard loads end up near-even, zero-weight slots spread
+// round-robin instead of piling onto one shard, and the assignment is
+// deterministic.
+func TestBalancedSlotsLPT(t *testing.T) {
+	weights := make([]int64, LayoutSlots)
+	weights[0] = 100 // one hot topic
+	weights[1] = 60
+	weights[2] = 30
+	weights[3] = 30
+	slots := balancedSlots(weights, 4)
+	if len(slots) != LayoutSlots {
+		t.Fatalf("layout has %d slots, want %d", len(slots), LayoutSlots)
+	}
+	owners := map[int]bool{}
+	for _, s := range []int{0, 1, 2, 3} {
+		if owners[slots[s]] && s != 3 {
+			t.Fatalf("hot slots share shard %d: %v", slots[s], slots[:4])
+		}
+		owners[slots[s]] = true
+	}
+	proj := projectedImbalance(weights, Layout{K: 4, Slots: slots})
+	if proj > 100.0*4/220*1.001 { // the hot slot itself is the floor
+		t.Fatalf("projected imbalance %.3f, want the hot-slot floor ~%.3f", proj, 100.0*4/220)
+	}
+	// Zero-weight slots are spread, not dumped on the emptiest shard.
+	counts := make([]int, 4)
+	for _, sh := range slots {
+		counts[sh]++
+	}
+	for sh, n := range counts {
+		if n < LayoutSlots/8 {
+			t.Fatalf("shard %d owns only %d of %d slots: zero-weight slots not spread (%v)",
+				sh, n, LayoutSlots, counts)
+		}
+	}
+	if !slices.Equal(slots, balancedSlots(weights, 4)) {
+		t.Fatal("balancedSlots is not deterministic")
+	}
+}
+
+// TestLayoutNormalized covers the layout validation contract.
+func TestLayoutNormalized(t *testing.T) {
+	if _, err := (Layout{K: 0}).normalized(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := (Layout{K: 2, Slots: []int{0, 1}}).normalized(); err == nil {
+		t.Fatal("short slot table accepted")
+	}
+	bad := DefaultLayout(2)
+	bad.Slots[7] = 2
+	if _, err := bad.normalized(); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	l, err := (Layout{K: 3}).normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Slots) != LayoutSlots || l.Slots[4] != 1 {
+		t.Fatalf("nil slots not defaulted: %v", l.Slots[:8])
+	}
+}
+
+// TestRebalanceEquivalenceUnderSkew is the acceptance property test of the
+// rebalancing contract: a Zipfian-skewed stream runs on a durable engine
+// with the skew monitor live and manual rebalances — including shard-count
+// changes and a randomized layout — fired mid-stream, is SIGKILLed (directory
+// clone) at a pseudo-random point whose recovery replays ACROSS a rebalance,
+// and continues on the recovered engine through more rebalances. The merged
+// output — pair identities, order, probabilities, replayed and live alike —
+// must be byte-identical to an uninterrupted fixed-K run. Run under -race in
+// CI.
+func TestRebalanceEquivalenceUnderSkew(t *testing.T) {
+	f := loadFixture(t)
+	zs := zipfStream(f.stream)
+	n := len(zs)
+	wantPerArrival, wantFinal := runProcessorOn(t, f, zs)
+
+	// The uninterrupted fixed-K reference engine: guards that the Processor
+	// reference and a plain K=4 engine agree on this skewed stream before
+	// any rebalancing enters the picture.
+	fixed := newCollector()
+	engFixed, err := New(f.sh, Config{Core: f.cfg, Shards: 4, OnResult: fixed.onResult})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range zs {
+		if err := engFixed.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engFixed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantPerArrival {
+		if !samePairs(wantPerArrival[i], fixed.pairs[int64(i)]) {
+			t.Fatalf("fixed-K reference diverged from the Processor at arrival %d", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	ckptAt := n/4 + rng.Intn(n/8)
+	rebAt := ckptAt + 1 + rng.Intn(n/8)  // rebalance AFTER the checkpoint...
+	kill := rebAt + 1 + rng.Intn(n/8)    // ...and the kill after that, so
+	rebAt2 := kill + 1 + rng.Intn(n/8)   // recovery replays across it; more
+	rebAt3 := rebAt2 + 1 + rng.Intn(n/8) // rebalances follow on the
+	if rebAt3 >= n {                     // recovered engine.
+		t.Fatalf("fixture stream too short: rebAt3=%d n=%d", rebAt3, n)
+	}
+	monitored := RebalanceConfig{Threshold: 1.3, Interval: time.Millisecond, Sustain: 1, Logf: t.Logf}
+
+	dir := t.TempDir()
+	col1 := newCollector()
+	d1, err := OpenDurable(f.sh,
+		Config{Core: f.cfg, Shards: 2, OnResult: col1.onResult, Rebalance: monitored},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range zs[:kill] {
+		if err := d1.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		switch i + 1 {
+		case ckptAt:
+			if _, err := d1.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		case rebAt:
+			// Manual K-change rebalance between the checkpoint and the kill:
+			// the recovery below replays the WAL straight across it.
+			if err := d1.Eng.Rebalance(Layout{K: 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	if err := d1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	col2 := newCollector()
+	d2, err := OpenDurable(f.sh,
+		Config{Core: f.cfg, Shards: 0, OnResult: col2.onResult, Rebalance: monitored},
+		DurableConfig{Dir: crashDir, NoSync: true, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResumeSeq() != int64(kill) {
+		t.Fatalf("recovered engine resumes at %d, want %d", d2.ResumeSeq(), kill)
+	}
+	// Shards: 0 adopts the checkpoint's layout — taken at K=2 before the
+	// rebalance, so recovery restores K=2 and replays across the K=3 epoch.
+	if got := d2.Eng.Stats().Shards; got != 2 {
+		t.Fatalf("recovery adopted K=%d, want the checkpoint's 2", got)
+	}
+	for i, r := range zs[kill:] {
+		if err := d2.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		switch kill + i + 1 {
+		case rebAt2:
+			if err := d2.Eng.Rebalance(randLayout(rng, 5)); err != nil {
+				t.Fatal(err)
+			}
+		case rebAt3:
+			if err := d2.Eng.Rebalance(d2.Eng.BalancedLayout(4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := d2.Eng.Stats()
+	if err := d2.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebalance.Rebalances < 2 {
+		t.Fatalf("recovered engine performed %d rebalances, want >= 2 (manual alone)", st.Rebalance.Rebalances)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("final shard count %d, want 4", st.Shards)
+	}
+
+	for i := 0; i < n; i++ {
+		got, ok := col1.pairs[int64(i)]
+		if i >= kill {
+			got, ok = col2.pairs[int64(i)]
+		}
+		if !ok {
+			t.Fatalf("arrival %d never finalized (ckpt=%d reb=%d kill=%d)", i, ckptAt, rebAt, kill)
+		}
+		if !samePairs(wantPerArrival[i], got) {
+			t.Fatalf("arrival %d (ckpt=%d reb=%d kill=%d reb2=%d reb3=%d): got %v, reference %v",
+				i, ckptAt, rebAt, kill, rebAt2, rebAt3, got, wantPerArrival[i])
+		}
+	}
+	if !samePairs(wantFinal, d2.Eng.ResultSet()) {
+		t.Fatalf("final entity set differs after rebalances + crash recovery (kill=%d)", kill)
+	}
+
+	// A clean reboot off the final checkpoint resumes at the stream's end
+	// with the last rebalanced layout adopted.
+	d3, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 0},
+		DurableConfig{Dir: crashDir, NoSync: true, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.ResumeSeq() != int64(n) || d3.Replayed() != 0 {
+		t.Fatalf("clean restart resumes at %d with %d replayed, want %d/0", d3.ResumeSeq(), d3.Replayed(), n)
+	}
+	if got := d3.Eng.Stats().Shards; got != 4 {
+		t.Fatalf("clean restart adopted K=%d, want the rebalanced 4", got)
+	}
+	if !samePairs(wantFinal, d3.Eng.ResultSet()) {
+		t.Fatal("clean restart entity set differs")
+	}
+	if err := d3.Close(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorAutoRebalance: under a pathological layout (every topic slot on
+// shard 0 — the extreme of topic skew), the background monitor must detect
+// the sustained imbalance, fire an automatic weighted rebalance, and bring
+// the skew down — without perturbing the output stream.
+func TestMonitorAutoRebalance(t *testing.T) {
+	f := loadFixture(t)
+	wantPerArrival, wantFinal := runProcessor(t, f)
+
+	col := newCollector()
+	eng, err := New(f.sh, Config{
+		Core: f.cfg, Shards: 4, OnResult: col.onResult,
+		Rebalance: RebalanceConfig{Threshold: 1.5, Interval: 2 * time.Millisecond, Sustain: 2, Logf: t.Logf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concentrate everything: all slots → shard 0.
+	if err := eng.Rebalance(Layout{K: 4, Slots: make([]int, LayoutSlots)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream {
+		if err := eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for eng.Stats().Rebalance.AutoRebalances == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never fired: stats %+v", eng.Stats().Rebalance)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := eng.Stats()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rebalance.LastImbalance < 1.5 {
+		t.Fatalf("auto rebalance recorded imbalance %.2f, want >= threshold 1.5", st.Rebalance.LastImbalance)
+	}
+	if imb := eng.Imbalance(); imb >= st.Rebalance.LastImbalance {
+		t.Fatalf("imbalance %.2f did not improve on the pre-rebalance %.2f", imb, st.Rebalance.LastImbalance)
+	}
+	for i := range wantPerArrival {
+		if !samePairs(wantPerArrival[i], col.pairs[int64(i)]) {
+			t.Fatalf("arrival %d perturbed by the auto rebalance", i)
+		}
+	}
+	if !samePairs(wantFinal, eng.ResultSet()) {
+		t.Fatal("final entity set perturbed by the auto rebalance")
+	}
+}
+
+// TestCheckpointCarriesLayout: checkpoints record the live slot table
+// (snapshot format v2) and restore adopts it exactly when the shard counts
+// line up — including the Shards=0 auto-adoption — and falls back to the
+// default modulo layout otherwise.
+func TestCheckpointCarriesLayout(t *testing.T) {
+	f := loadFixture(t)
+	rng := rand.New(rand.NewSource(7))
+	custom := randLayout(rng, 3)
+
+	eng, err := New(f.sh, Config{Core: f.cfg, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream[:60] {
+		if err := eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Rebalance(custom); err != nil {
+		t.Fatal(err)
+	}
+	c, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards != 3 || !slices.Equal(c.SlotTable, custom.Slots) {
+		t.Fatalf("checkpoint carries K=%d table %v..., want the rebalanced layout", c.Shards, c.SlotTable[:4])
+	}
+	c = roundtrip(t, c) // through the v2 binary format
+
+	cases := []struct {
+		name      string
+		shards    int
+		wantK     int
+		wantTable []int
+	}{
+		{"same K adopts the table", 3, 3, custom.Slots},
+		{"auto K adopts everything", 0, 3, custom.Slots},
+		{"different K falls back to default", 5, 5, DefaultLayout(5).Slots},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e2, err := NewFromSnapshot(f.sh, Config{Core: f.cfg, Shards: tc.shards}, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			if got := e2.Stats().Shards; got != tc.wantK {
+				t.Fatalf("restored K=%d, want %d", got, tc.wantK)
+			}
+			if !slices.Equal(e2.layout, tc.wantTable) {
+				t.Fatalf("restored layout %v..., want %v...", e2.layout[:8], tc.wantTable[:8])
+			}
+		})
+	}
+}
+
+// TestAdoptionCapsShardCount: a tampered checkpoint claiming a huge shard
+// count must not make an auto-sizing restore (Shards=0) spawn that many
+// shard workers — CRC protects integrity, not authenticity.
+func TestAdoptionCapsShardCount(t *testing.T) {
+	f := loadFixture(t)
+	eng, err := New(f.sh, Config{Core: f.cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream[:20] {
+		if err := eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: an absurd shard count with a structurally valid slot table
+	// (all zeros pass Validate against any Shards >= 1).
+	c.Shards = 100000
+	c.SlotTable = make([]int, LayoutSlots)
+	e2, err := NewFromSnapshot(f.sh, Config{Core: f.cfg, Shards: 0}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.Stats().Shards; got > maxAdoptShards {
+		t.Fatalf("restore adopted K=%d from a tampered checkpoint, cap is %d", got, maxAdoptShards)
+	}
+}
+
+// TestRebalanceClosedAndInvalid covers the error contract.
+func TestRebalanceClosedAndInvalid(t *testing.T) {
+	f := loadFixture(t)
+	eng, err := New(f.sh, Config{Core: f.cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rebalance(Layout{K: 0}); err == nil {
+		t.Fatal("K=0 rebalance accepted")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rebalance(DefaultLayout(2)); err != ErrClosed {
+		t.Fatalf("rebalance after close: %v, want ErrClosed", err)
+	}
+}

@@ -38,9 +38,13 @@ type shard struct {
 	grid  *grid.Grid
 	seqOf map[string]int64 // resident RID -> global arrival seq
 
-	// residents/resolved are read by Stats() while the worker runs.
+	// residents/resolved/inserts are read by Stats() and the skew monitor
+	// while the worker runs. residents tracks current occupancy; inserts is
+	// the monotonic insert count, whose per-interval delta is the shard's
+	// submit rate.
 	residents atomic.Int64
 	resolved  atomic.Int64
+	inserts   atomic.Int64
 }
 
 func newShard(id int, e *Engine, g *grid.Grid) *shard {
@@ -80,6 +84,7 @@ func (s *shard) run() {
 			}
 			s.seqOf[qRID] = cmd.it.seq
 			s.residents.Add(1)
+			s.inserts.Add(1)
 		}
 		s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: sw.Lap()}, Prune: ps})
 		s.resolved.Add(1)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"terids/internal/core"
@@ -28,6 +29,12 @@ import (
 func (e *Engine) Checkpoint() (*snapshot.Checkpoint, error) {
 	e.subMu.Lock()
 	defer e.subMu.Unlock()
+	return e.checkpointLocked()
+}
+
+// checkpointLocked is the barrier body, shared by Checkpoint and Rebalance.
+// Caller holds subMu (so the watermark cannot advance).
+func (e *Engine) checkpointLocked() (*snapshot.Checkpoint, error) {
 	target := e.seq.Load()
 
 	e.resultsMu.Lock()
@@ -68,6 +75,7 @@ func (e *Engine) Checkpoint() (*snapshot.Checkpoint, error) {
 	c.Completed = e.completed
 	c.Rejected = e.rejected
 	c.Shards = e.cfg.Shards
+	c.SlotTable = slices.Clone(e.layout)
 	for _, r := range recs {
 		c.Residents = append(c.Residents, core.ResidentFromRecord(r, seqOf[r.RID]))
 	}
@@ -86,7 +94,17 @@ func (e *Engine) Checkpoint() (*snapshot.Checkpoint, error) {
 // restoring at a different shard count reshards for free; output remains
 // byte-identical to an uninterrupted run because resolution never depends on
 // where a tuple resides.
+//
+// Layout adoption: a checkpoint taken after a rebalance carries its slot
+// table (snapshot format v2). When the configuration auto-sizes the shard
+// count (Shards == 0) the snapshot's K and table are adopted wholesale, so a
+// rebalanced deployment recovers balanced; an explicit Shards equal to the
+// snapshot's K adopts the table too; any other K falls back to the default
+// modulo layout at the requested K — always safe, placement being free.
 func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engine, error) {
+	if cfg.Shards == 0 && c.Shards >= 1 && c.Shards <= maxAdoptShards && len(c.SlotTable) == LayoutSlots {
+		cfg.Shards = c.Shards
+	}
 	e, err := newEngine(sh, cfg)
 	if err != nil {
 		return nil, err
@@ -97,7 +115,33 @@ func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engi
 	if err := core.CheckpointCompatible(sh, e.cfg.Core, c); err != nil {
 		return nil, err
 	}
-	recs, err := core.CheckpointRecords(sh.Schema, c)
+	if len(c.SlotTable) == LayoutSlots && c.Shards == e.cfg.Shards {
+		if l, err := (Layout{K: c.Shards, Slots: c.SlotTable}).normalized(); err == nil {
+			e.layout = l.Slots
+		}
+	}
+	recs, err := e.loadResidents(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.RestoreResults(e.results, recs, c); err != nil {
+		return nil, err
+	}
+	e.startSeq = c.Seq
+	e.seq.Store(c.Seq)
+	e.completed = c.Completed
+	e.rejected = c.Rejected
+	e.start()
+	e.startMonitor()
+	return e, nil
+}
+
+// loadResidents replays the checkpoint's residents into the windows, the
+// live set, and the shard grids under the engine's current layout — the
+// restore body shared by NewFromSnapshot and Rebalance. The engine must be
+// freshly built (or rebuilt) and not yet started.
+func (e *Engine) loadResidents(c *snapshot.Checkpoint) ([]*tuple.Record, error) {
+	recs, err := core.CheckpointRecords(e.step.Shared().Schema, c)
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +154,15 @@ func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engi
 			return nil, fmt.Errorf("engine: checkpoint resident %s overflows stream %d window",
 				rec.RID, rec.Stream)
 		}
-		e.live[rec.RID] = struct{}{}
 		seq := c.Residents[i].ArrivalSeq
 		im, _ := e.step.Impute(rec)
 		prof := e.step.Profile(im)
-		for _, h := range e.homeShards(prof) {
+		homes, slot := e.homeShards(prof)
+		e.live[rec.RID] = slot
+		if slot >= 0 {
+			e.slotWeight[slot].Add(1)
+		}
+		for _, h := range homes {
 			s := e.shards[h]
 			if err := s.grid.Insert(&grid.Entry{Rec: rec, Prof: prof}); err != nil {
 				return nil, err
@@ -123,13 +171,5 @@ func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engi
 			s.residents.Add(1)
 		}
 	}
-	if err := core.RestoreResults(e.results, recs, c); err != nil {
-		return nil, err
-	}
-	e.startSeq = c.Seq
-	e.seq.Store(c.Seq)
-	e.completed = c.Completed
-	e.rejected = c.Rejected
-	e.start()
-	return e, nil
+	return recs, nil
 }

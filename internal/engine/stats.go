@@ -12,6 +12,10 @@ type ShardStats struct {
 	// Resolved counts arrivals this shard has resolved against its
 	// partition.
 	Resolved int64 `json:"resolved"`
+	// Inserts is the monotonic count of residency insertions this shard has
+	// taken; its per-interval delta is the shard's submit rate, the second
+	// signal (besides Residents) the skew monitor watches.
+	Inserts int64 `json:"inserts"`
 }
 
 // Stats is a point-in-time view of the engine, safe to read while the
@@ -31,6 +35,11 @@ type Stats struct {
 	LivePairs int            `json:"live_pairs"`
 	Totals    metrics.Totals `json:"totals"`
 	PerShard  []ShardStats   `json:"per_shard"`
+	// Imbalance is the current skew ratio: the most loaded shard's residents
+	// over the per-shard mean (1 = balanced, Shards = everything on one).
+	Imbalance float64 `json:"imbalance"`
+	// Rebalance is the adaptive rebalancer's health block.
+	Rebalance RebalanceStats `json:"rebalance"`
 	// QueueLen is the current ingest queue occupancy (of QueueDepth).
 	QueueLen   int `json:"queue_len"`
 	QueueDepth int `json:"queue_depth"`
@@ -43,13 +52,14 @@ func (e *Engine) Stats() Stats {
 	e.resultsMu.RLock()
 	completed, rejected := e.completed, e.rejected
 	e.resultsMu.RUnlock()
+	e.stateMu.RLock()
 	st := Stats{
 		Shards:     e.cfg.Shards,
 		Submitted:  submitted,
 		Completed:  completed,
 		Rejected:   rejected,
-		LivePairs:  e.ResultCount(),
 		Totals:     e.acc.Snapshot(),
+		Imbalance:  imbalanceOf(e.shards),
 		QueueLen:   len(e.imputeIn),
 		QueueDepth: e.cfg.QueueDepth,
 	}
@@ -58,7 +68,11 @@ func (e *Engine) Stats() Stats {
 			Shard:     s.id,
 			Residents: s.residents.Load(),
 			Resolved:  s.resolved.Load(),
+			Inserts:   s.inserts.Load(),
 		})
 	}
+	e.stateMu.RUnlock()
+	st.LivePairs = e.ResultCount()
+	st.Rebalance = e.RebalanceStats()
 	return st
 }

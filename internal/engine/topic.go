@@ -15,10 +15,17 @@ import (
 // probability mass across the imputed candidate distributions (sum of
 // candidate existence probabilities of keyword-bearing candidates). Tuples
 // whose topic distribution straddles shards — two keywords with comparable
-// mass hashing to different shards — take the broadcast-residency path and
+// mass assigned to different shards — take the broadcast-residency path and
 // are inserted into every shard (the merger dedups their emissions).
 // Keyword-free tuples hash on their RID, spreading the topic-neutral bulk
 // uniformly.
+//
+// The topic hash is indirected through a fixed-size slot table (the engine's
+// Layout): topic → fnv32a % LayoutSlots → slot → layout[slot] → shard. The
+// default layout is the plain modulo assignment; the rebalancer installs
+// weighted tables that split hot slots' neighbours away from overloaded
+// shards. Because placement is free, swapping the table never changes the
+// emitted pairs.
 
 // straddleRatio: a secondary topic within this fraction of the dominant
 // topic's mass makes the residency ambiguous enough to broadcast.
@@ -33,6 +40,9 @@ func fnv32a(s string) uint32 {
 	}
 	return h
 }
+
+// slotOf maps a topic (or RID) to its layout slot.
+func slotOf(s string) int { return int(fnv32a(s) % LayoutSlots) }
 
 // keywordMass sums, over attributes, the candidate probability mass of
 // candidates containing kw — an upper-bound style weight of how much of the
@@ -49,12 +59,13 @@ func keywordMass(im *tuple.Imputed, kw string) float64 {
 	return m
 }
 
-// homeShards picks the grid partitions an arrival resides in.
-func (e *Engine) homeShards(prof *prune.Profile) []int {
+// homeShards picks the grid partitions an arrival resides in, plus the
+// layout slot its residency is charged to (-1 for broadcast residents, whose
+// placement the rebalancer cannot move). Called from impute workers and the
+// restore path only — never concurrently with a layout swap, because the
+// pipeline is stopped at the rebalance barrier.
+func (e *Engine) homeShards(prof *prune.Profile) (homes []int, slot int) {
 	k := e.cfg.Shards
-	if k == 1 {
-		return []int{0}
-	}
 	kws := e.step.Shared().Keywords
 	var best, second float64
 	bestKW, secondKW := -1, -1
@@ -73,18 +84,19 @@ func (e *Engine) homeShards(prof *prune.Profile) []int {
 	}
 	if bestKW < 0 {
 		// Topic-neutral tuple: uniform spread by RID.
-		return []int{int(fnv32a(prof.Im.R.RID) % uint32(k))}
+		s := slotOf(prof.Im.R.RID)
+		return []int{e.layout[s]}, s
 	}
-	s1 := int(fnv32a(kws[bestKW]) % uint32(k))
+	s1 := slotOf(kws[bestKW])
 	if secondKW >= 0 && second >= straddleRatio*best {
-		if s2 := int(fnv32a(kws[secondKW]) % uint32(k)); s2 != s1 {
+		if s2 := slotOf(kws[secondKW]); e.layout[s2] != e.layout[s1] {
 			// Straddles shards: broadcast residency.
 			all := make([]int, k)
 			for i := range all {
 				all[i] = i
 			}
-			return all
+			return all, -1
 		}
 	}
-	return []int{s1}
+	return []int{e.layout[s1]}, s1
 }

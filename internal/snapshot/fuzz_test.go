@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeed encodes a representative checkpoint (with and without the v2
+// slot table) so the mutator starts from real wire bytes.
+func fuzzSeed(f *testing.F, slotTable bool) []byte {
+	f.Helper()
+	c := sampleCheckpoint()
+	if slotTable {
+		c.SlotTable = make([]int, 256)
+		for i := range c.SlotTable {
+			c.SlotTable[i] = i % c.Shards
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotDecode hardens restore against arbitrary checkpoint
+// corruption: random mutations of valid artifacts must never panic or
+// over-allocate — corrupt input returns an error. Anything Decode does
+// accept must be structurally valid (Validate passes) and re-encodable, so
+// a recovered checkpoint can always be checkpointed again.
+func FuzzSnapshotDecode(f *testing.F) {
+	plain := fuzzSeed(f, false)
+	layout := fuzzSeed(f, true)
+	f.Add(plain)
+	f.Add(layout)
+	f.Add(plain[:len(plain)-2])
+	f.Add(plain[:len(Magic)+10])
+	f.Add([]byte{})
+	f.Add([]byte("TERIDSCP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Decode accepted a structurally invalid checkpoint: %v", err)
+		}
+		if err := Encode(io.Discard, c); err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %v", err)
+		}
+	})
+}

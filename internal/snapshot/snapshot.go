@@ -35,8 +35,11 @@ import (
 // Magic identifies a TER-iDS checkpoint file.
 const Magic = "TERIDSCP"
 
-// Version is the current format version. Decode rejects other versions.
-const Version = 1
+// Version is the current format version. Version 2 appends the shard layout
+// slot table (adaptive rebalancing); Decode still reads version-1 files,
+// which simply carry no layout (SlotTable nil — restore derives the default
+// modulo layout).
+const Version = 2
 
 // maxSection bounds every decoded collection length, so a corrupted or
 // hostile length prefix cannot drive allocation before the data runs out.
@@ -104,6 +107,14 @@ type Checkpoint struct {
 	Residents []Resident
 	// Pairs is the live entity set.
 	Pairs []PairRef
+
+	// SlotTable is the engine's topic-hash→shard layout at capture time
+	// (format v2+): entry s names the shard owning hash slot s, every value
+	// in [0, Shards). Empty for version-1 checkpoints, single-threaded
+	// snapshots, and engines on the default modulo layout. Like Shards it is
+	// advisory: restore adopts it only when the shard counts line up, because
+	// placement never affects which pairs are emitted.
+	SlotTable []int
 }
 
 // Validate checks the checkpoint's structural invariants: ascending arrival
@@ -149,6 +160,17 @@ func (c *Checkpoint) Validate() error {
 		if c.Residents[p.A].RID >= c.Residents[p.B].RID {
 			return fmt.Errorf("snapshot: pair %d not RID-normalized (%s vs %s)",
 				i, c.Residents[p.A].RID, c.Residents[p.B].RID)
+		}
+	}
+	if len(c.SlotTable) > 0 {
+		if c.Shards < 1 {
+			return fmt.Errorf("snapshot: slot table with %d entries but shard count %d",
+				len(c.SlotTable), c.Shards)
+		}
+		for s, sh := range c.SlotTable {
+			if sh < 0 || sh >= c.Shards {
+				return fmt.Errorf("snapshot: slot %d assigned to shard %d of %d", s, sh, c.Shards)
+			}
 		}
 	}
 	return nil
@@ -245,6 +267,10 @@ func Encode(w io.Writer, c *Checkpoint) error {
 		p.uvarint(uint64(pr.A))
 		p.uvarint(uint64(pr.B))
 		p.float(pr.Prob)
+	}
+	p.uvarint(uint64(len(c.SlotTable)))
+	for _, sh := range c.SlotTable {
+		p.uvarint(uint64(sh))
 	}
 
 	payload := p.buf.Bytes()
@@ -359,8 +385,9 @@ func Decode(src io.Reader) (*Checkpoint, error) {
 	if _, err := io.ReadFull(br, fixed[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(fixed[0:2]); v != Version {
-		return nil, fmt.Errorf("snapshot: format version %d, this build reads %d", v, Version)
+	ver := binary.LittleEndian.Uint16(fixed[0:2])
+	if ver < 1 || ver > Version {
+		return nil, fmt.Errorf("snapshot: format version %d, this build reads 1..%d", ver, Version)
 	}
 	size := binary.LittleEndian.Uint64(fixed[2:10])
 	if size > maxSection {
@@ -445,6 +472,14 @@ func Decode(src io.Reader) (*Checkpoint, error) {
 		c.Pairs = make([]PairRef, 0, prealloc(n))
 		for i := 0; i < n && r.err == nil; i++ {
 			c.Pairs = append(c.Pairs, PairRef{A: int(r.uvarint()), B: int(r.uvarint()), Prob: r.float()})
+		}
+	}
+	if ver >= 2 {
+		if n := r.count(); r.err == nil && n > 0 {
+			c.SlotTable = make([]int, 0, prealloc(n))
+			for i := 0; i < n && r.err == nil; i++ {
+				c.SlotTable = append(c.SlotTable, int(r.uvarint()))
+			}
 		}
 	}
 	if r.err != nil {

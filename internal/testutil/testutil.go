@@ -1,0 +1,38 @@
+// Package testutil holds helpers shared by the crash-injection test suites
+// (engine durability, serve restart). It is imported only from _test files.
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// CopyTree clones a durability directory — the SIGKILL simulation shared by
+// the crash-recovery tests: the copy is exactly the on-disk state an abrupt
+// kill would leave behind (every acknowledged write is in a file; nothing
+// was drained, closed, or checkpointed on the way out).
+func CopyTree(t testing.TB, src, dst string) {
+	t.Helper()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		s, d := filepath.Join(src, de.Name()), filepath.Join(dst, de.Name())
+		if de.IsDir() {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			CopyTree(t, s, d)
+			continue
+		}
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
