@@ -7,6 +7,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -370,6 +371,114 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*replayed)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkDeltaCheckpoint measures the incremental-checkpoint path against
+// its full-snapshot equivalent: compute the v3 delta between two barrier
+// checkpoints 50 arrivals apart, encode it, decode it, and apply it back
+// onto the base. Reports the delta's wire size (delta_bytes) next to the
+// full checkpoint's (full_bytes) — the on-disk saving that makes frequent
+// checkpointing cheap.
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	f := loadEngineFixture(b)
+	eng, err := engine.New(f.sh, engine.Config{Core: f.cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cut := len(f.stream) - 50
+	for _, r := range f.stream[:cut] {
+		if err := eng.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, err := eng.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range f.stream[cut:] {
+		if err := eng.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur, err := eng.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fullBuf bytes.Buffer
+	if err := snapshot.Encode(&fullBuf, cur); err != nil {
+		b.Fatal(err)
+	}
+	var deltaBytes int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := snapshot.ComputeDelta(base, cur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := snapshot.EncodeDelta(&buf, d); err != nil {
+			b.Fatal(err)
+		}
+		deltaBytes = buf.Len()
+		d2, err := snapshot.DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snapshot.ApplyDelta(base, d2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(deltaBytes), "delta_bytes")
+	b.ReportMetric(float64(fullBuf.Len()), "full_bytes")
+}
+
+// BenchmarkDeepReplay measures WAL-backed result regeneration end to end:
+// a throwaway engine restored at the replay base re-runs the whole logged
+// stream through the full pipeline, exactly what serves a /results?from=
+// cursor that fell behind the in-memory ring. Reports regenerated tuples/s —
+// the number that bounds how far behind a consumer can fall and still catch
+// up.
+func BenchmarkDeepReplay(b *testing.B) {
+	f := loadEngineFixture(b)
+	d, err := engine.OpenDurable(f.sh, engine.Config{Core: f.cfg, Shards: 4},
+		engine.DurableConfig{Dir: b.TempDir(), NoSync: true, DeltaEvery: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close(false)
+	for i, r := range f.stream {
+		if err := d.Eng.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%(len(f.stream)/4) == 0 {
+			if _, err := d.CheckpointNow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := d.Eng.Checkpoint(); err != nil { // barrier = drain
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := d.DeepReplay(context.Background(), 0, 0, 0, func(engine.Result) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(f.stream) {
+			b.Fatalf("deep replay regenerated %d results, want %d", n, len(f.stream))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
 }
 
 // BenchmarkRebalance measures the online rebalance end to end — barrier

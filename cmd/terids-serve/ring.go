@@ -6,6 +6,13 @@ import (
 	"terids/internal/engine"
 )
 
+// ringChunk bounds how many results one since call copies out under the
+// lock. The merger's add runs on the hot path (OnResult), so a slow /results
+// client draining a huge backlog must never pin r.mu for the whole backlog —
+// callers loop, re-reading from their advanced cursor, and each iteration
+// holds the lock O(ringChunk).
+const ringChunk = 256
+
 // resultRing is the bounded in-memory replay buffer behind /results?from=:
 // the last cap merged results, keyed by merge sequence. The merger emits
 // exactly one result per sequence number, in consecutive order starting at
@@ -20,6 +27,12 @@ type resultRing struct {
 }
 
 func newResultRing(capacity int, base int64) *resultRing {
+	// Defense in depth behind the cliutil flag validation: a non-positive
+	// capacity would make every add panic with a divide by zero in the
+	// seq%len(buf) index.
+	if capacity < 1 {
+		capacity = 1
+	}
 	return &resultRing{buf: make([]engine.Result, capacity), base: base, next: base}
 }
 
@@ -42,29 +55,40 @@ func (r *resultRing) add(res engine.Result) {
 func (r *resultRing) status() (oldest, next int64, retained int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	oldest = r.next - int64(r.n)
+	return r.oldestLocked(), r.next, r.n
+}
+
+func (r *resultRing) oldestLocked() int64 {
+	oldest := r.next - int64(r.n)
 	if oldest < r.base {
 		oldest = r.base
 	}
-	return oldest, r.next, r.n
+	return oldest
 }
 
-// since returns the retained results with sequence >= from, in order. gone
-// reports that results in [from, oldest) are no longer available — evicted
-// from the ring, or produced before this process started (e.g. before a
-// checkpoint restore) — so an exact replay from `from` is impossible.
+// since returns up to ringChunk retained results with sequence >= from, in
+// order; callers loop from the advanced cursor until they drain the backlog
+// (the bounded copy keeps the merger's add from stalling behind a slow
+// reader). gone reports that results in [from, oldest) are no longer
+// available — evicted from the ring, or produced before this process started
+// (e.g. before a checkpoint restore) — so an exact replay from `from` is
+// impossible here (the durability layer may still regenerate them).
 func (r *resultRing) since(from int64) (out []engine.Result, gone bool, oldest int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	oldest = r.next - int64(r.n)
-	if oldest < r.base {
-		oldest = r.base
-	}
+	oldest = r.oldestLocked()
 	if from < oldest {
 		return nil, true, oldest
 	}
-	for seq := from; seq < r.next; seq++ {
-		out = append(out, r.buf[seq%int64(len(r.buf))])
+	end := r.next
+	if from+ringChunk < end {
+		end = from + ringChunk
+	}
+	if from < end {
+		out = make([]engine.Result, 0, end-from)
+		for seq := from; seq < end; seq++ {
+			out = append(out, r.buf[seq%int64(len(r.buf))])
+		}
 	}
 	return out, false, oldest
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"terids/internal/engine"
 )
@@ -38,6 +40,103 @@ func TestRingRetainsTail(t *testing.T) {
 	// Future: nothing yet, not gone.
 	if out, gone, _ := r.since(10); gone || len(out) != 0 {
 		t.Fatalf("since(10): out=%v gone=%v", out, gone)
+	}
+}
+
+// TestRingZeroCapacityClamped is the regression test for the startup panic:
+// a non-positive capacity used to make every add divide by zero in the
+// seq%len(buf) index. cliutil rejects the flag value; the ring itself clamps
+// as defense in depth.
+func TestRingZeroCapacityClamped(t *testing.T) {
+	for _, capacity := range []int{0, -4} {
+		r := newResultRing(capacity, 0)
+		r.add(res(0)) // panicked before the clamp
+		if out, gone, _ := r.since(0); gone || len(out) != 1 {
+			t.Fatalf("cap %d: since(0) = (%v, %v) after one add", capacity, out, gone)
+		}
+	}
+}
+
+// TestRingSinceChunked is the contention regression test for the merger
+// stall: since must copy out at most ringChunk results per call (the lock is
+// held O(chunk), never O(backlog)), with callers looping from the advanced
+// cursor until they drain — in order, exactly once.
+func TestRingSinceChunked(t *testing.T) {
+	const n = 4 * ringChunk
+	r := newResultRing(2*n, 0)
+	for seq := int64(0); seq < n; seq++ {
+		r.add(res(seq))
+	}
+	cursor, calls := int64(0), 0
+	for cursor < n {
+		out, gone, _ := r.since(cursor)
+		if gone {
+			t.Fatalf("since(%d) reported gone inside the retained window", cursor)
+		}
+		if len(out) == 0 {
+			t.Fatalf("since(%d) returned nothing with %d results still retained", cursor, n-cursor)
+		}
+		if len(out) > ringChunk {
+			t.Fatalf("since(%d) copied %d results under the lock, chunk bound is %d", cursor, len(out), ringChunk)
+		}
+		for i, res := range out {
+			if res.Seq != cursor+int64(i) {
+				t.Fatalf("chunked read out of order: got seq %d at offset %d of cursor %d", res.Seq, i, cursor)
+			}
+		}
+		cursor += int64(len(out))
+		calls++
+	}
+	if calls < n/ringChunk {
+		t.Fatalf("backlog of %d drained in %d calls; chunking is not bounding the copies", n, calls)
+	}
+}
+
+// TestRingAddNotStalledBySlowReader: adds (the merger's OnResult path) keep
+// flowing while slow readers crawl a large backlog chunk by chunk. Run under
+// -race in CI; the wall-clock bound is deliberately generous — the failure
+// mode it guards against is an add queued behind a full-backlog copy.
+func TestRingAddNotStalledBySlowReader(t *testing.T) {
+	const backlog = 1 << 16
+	r := newResultRing(backlog, 0)
+	for seq := int64(0); seq < backlog; seq++ {
+		r.add(res(seq))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cursor := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, gone, oldest := r.since(cursor)
+				if gone {
+					cursor = oldest
+					continue
+				}
+				cursor += int64(len(out))
+				time.Sleep(time.Millisecond) // a slow client between chunks
+			}
+		}()
+	}
+	var worst time.Duration
+	for seq := int64(backlog); seq < backlog+2048; seq++ {
+		start := time.Now()
+		r.add(res(seq))
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if worst > time.Second {
+		t.Fatalf("an add stalled %v behind readers; the ring lock is being held too long", worst)
 	}
 }
 

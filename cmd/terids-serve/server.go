@@ -19,6 +19,10 @@ import (
 	"terids/internal/tuple"
 )
 
+// deepReplayWriteTimeout bounds each result write while a deep replay holds
+// the server's single replay slot (see server.deepSem).
+const deepReplayWriteTimeout = 30 * time.Second
+
 // server wires the engine into HTTP handlers, a live result broadcaster,
 // and the bounded replay ring behind /results?from=.
 type server struct {
@@ -40,9 +44,17 @@ type server struct {
 	// stream id, so on this unauthenticated endpoint ids must be validated
 	// BEFORE the limiter — otherwise random ids grow its map without bound.
 	streams int
-	// dur, when non-nil, is the durability subsystem handle (-wal-dir); only
-	// its health shows up in /stats — the data path runs through eng as usual.
+	// dur, when non-nil, is the durability subsystem handle (-wal-dir). Its
+	// health shows up in /stats, and /results?from= cursors below the ring
+	// are served by WAL-backed deep replay instead of a 410.
 	dur *engine.Durable
+	// replayDepth bounds how many arrivals one deep replay may re-run
+	// (-replay-depth; 0 = unlimited).
+	replayDepth int64
+	// deepSem serializes deep replays: each one spins up a throwaway engine
+	// and re-runs a WAL suffix, so concurrent requests queue here instead of
+	// multiplying that cost.
+	deepSem chan struct{}
 
 	mu          sync.Mutex
 	subs        map[chan engine.Result]struct{}
@@ -59,6 +71,7 @@ func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string
 		ring:    newResultRing(ringCap, ringBase),
 		ckptDir: ckptDir,
 		done:    make(chan struct{}),
+		deepSem: make(chan struct{}, 1),
 	}
 }
 
@@ -226,9 +239,12 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 // handleResults streams per-arrival results as NDJSON. Modes:
 //
 //	?snapshot=1  the current entity set, one JSON object
-//	?from=seq    replay the retained merged results with sequence >= seq
-//	             from the ring, then continue live (410 Gone when seq is
-//	             older than the ring's tail — exact replay impossible)
+//	?from=seq    replay the merged results with sequence >= seq — from the
+//	             in-memory ring when retained, regenerated byte-identically
+//	             from checkpoint + WAL (deep replay; requires -wal-dir) when
+//	             the cursor has fallen behind the ring — then continue live.
+//	             410 Gone only when seq predates the retained durable
+//	             coverage (oldest_retained names the reachable bound).
 //	(default)    live results from now on
 func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
 	if req.URL.Query().Get("snapshot") == "1" {
@@ -269,24 +285,30 @@ func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
 		// cursor); the subscription only signals that new results exist.
 		// Dropped broadcast signals are harmless — the drop implies the
 		// channel holds 256 newer wake-ups, and every drain re-reads the
-		// ring from the cursor.
+		// ring from the cursor. Cursors below the ring's tail fall through
+		// to WAL-backed deep replay (when -wal-dir is on), which regenerates
+		// the gap and rejoins the ring; 410 is left for sequences below even
+		// that coverage.
 		cursor := from
 		started := false
 		for {
 			past, gone, oldest := s.ring.since(cursor)
 			if gone {
-				if !started {
-					// No byte written yet: a clean 410.
-					rw.Header().Set("Content-Type", "application/json")
-					rw.WriteHeader(http.StatusGone)
-					_ = json.NewEncoder(rw).Encode(map[string]any{
-						"error":           fmt.Sprintf("results before seq %d are no longer retained", oldest),
-						"oldest_retained": oldest,
-					})
+				prev := cursor
+				ok := s.deepReplay(rw, req, fl, enc, &cursor, &started, oldest)
+				if !ok {
+					// Response finished: 410/error written, or the stream
+					// already started and cannot be spliced cleanly —
+					// terminate; the client's re-request from its advanced
+					// cursor resumes (or yields the 410).
+					return
 				}
-				// Evicted mid-stream: terminate; the client's re-request
-				// from its cursor yields the 410 above.
-				return
+				if cursor == prev {
+					// Defensive: a successful replay that advanced nothing
+					// would spin here forever.
+					return
+				}
+				continue
 			}
 			if !started {
 				started = true
@@ -294,14 +316,17 @@ func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
 				rw.WriteHeader(http.StatusOK)
 				fl.Flush()
 			}
-			for _, res := range past {
-				if err := enc.Encode(toLine(res)); err != nil {
-					return
-				}
-				cursor = res.Seq + 1
-			}
 			if len(past) > 0 {
+				for _, res := range past {
+					if err := enc.Encode(toLine(res)); err != nil {
+						return
+					}
+					cursor = res.Seq + 1
+				}
 				fl.Flush()
+				// The chunked read may have more backlog: re-read before
+				// waiting for a wake-up.
+				continue
 			}
 			select {
 			case <-ch:
@@ -336,6 +361,117 @@ func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+}
+
+// replayReach is the oldest sequence a /results?from= cursor can still be
+// served from: the durability layer's deep-replay reach when it extends
+// below the ring, the ring's tail otherwise.
+func (s *server) replayReach(ringOldest int64) int64 {
+	if s.dur != nil {
+		if reach, ok := s.dur.DeepReach(); ok && reach < ringOldest {
+			return reach
+		}
+	}
+	return ringOldest
+}
+
+// writeGone emits the 410 for a cursor that cannot be served, with the
+// oldest sequence that would have worked.
+func writeGone(rw http.ResponseWriter, msg string, oldest int64) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusGone)
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"error":           msg,
+		"oldest_retained": oldest,
+	})
+}
+
+// deepReplay serves the [cursor, ring) gap by regenerating it from the
+// durable state: the newest checkpoint at-or-below the cursor is restored
+// into a throwaway engine and the WAL re-run through the normal pipeline,
+// streaming byte-identical historical results until the cursor rejoins the
+// live ring. Returns true when the caller should continue its ring loop from
+// the advanced cursor; false when the response is finished (410 written,
+// error, or mid-stream failure).
+func (s *server) deepReplay(rw http.ResponseWriter, req *http.Request, fl http.Flusher,
+	enc *json.Encoder, cursor *int64, started *bool, ringOldest int64) bool {
+	if s.dur == nil {
+		if !*started {
+			writeGone(rw, fmt.Sprintf("results before seq %d are no longer retained", ringOldest), ringOldest)
+		}
+		return false
+	}
+	select {
+	case s.deepSem <- struct{}{}:
+	case <-req.Context().Done():
+		return false
+	case <-s.done:
+		return false
+	}
+	defer func() { <-s.deepSem }()
+
+	// The semaphore is held for the whole regeneration, so a client that
+	// stops reading must not pin it: each write carries a deadline, and a
+	// stalled connection errors out of the replay instead of blocking every
+	// other deep replay behind a dead peer. The deadline is cleared before
+	// returning to normal (subscription-paced) streaming.
+	rc := http.NewResponseController(rw)
+	defer rc.SetWriteDeadline(time.Time{})
+
+	start := *cursor
+	joined, failed := false, false
+	err := s.dur.DeepReplay(req.Context(), start, ringOldest, s.replayDepth, func(res engine.Result) bool {
+		if joined || failed {
+			return false
+		}
+		if !*started {
+			*started = true
+			rw.Header().Set("Content-Type", "application/x-ndjson")
+			rw.WriteHeader(http.StatusOK)
+		}
+		_ = rc.SetWriteDeadline(time.Now().Add(deepReplayWriteTimeout))
+		if err := enc.Encode(toLine(res)); err != nil {
+			failed = true
+			return false
+		}
+		*cursor = res.Seq + 1
+		// Splice point: once the next sequence is inside the live ring, the
+		// ring loop takes over — cheaper than regenerating what memory holds.
+		if oldestNow, _, _ := s.ring.status(); *cursor >= oldestNow {
+			joined = true
+			return false
+		}
+		return true
+	})
+	if failed {
+		return false
+	}
+	if err != nil {
+		if !*started {
+			switch {
+			case errors.Is(err, engine.ErrNoReplayCoverage):
+				reach := s.replayReach(ringOldest)
+				if reach <= start {
+					// The advertised reach just failed to serve this very
+					// cursor (e.g. the oldest retained checkpoint file is
+					// unreadable); report the ring's tail — the oldest bound
+					// that provably works — so clients don't retry a cursor
+					// the server keeps naming and keeps refusing.
+					reach = ringOldest
+				}
+				writeGone(rw, fmt.Sprintf("results before seq %d are no longer recoverable", reach), reach)
+			case errors.Is(err, engine.ErrReplayDepthExceeded):
+				writeGone(rw, err.Error(), s.replayReach(ringOldest))
+			default:
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+			}
+		}
+		return false
+	}
+	if *started {
+		fl.Flush()
+	}
+	return true
 }
 
 // handleSnapshot takes a barrier checkpoint of the running engine. With
@@ -444,6 +580,15 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	topic, simUB, probUB, instPair, total := st.Totals.Prune.Power()
 	oldest, next, retained := s.ring.status()
+	replayStats := map[string]any{
+		"oldest_retained": s.replayReach(oldest),
+		"ring_oldest":     oldest,
+		"next_seq":        next,
+		"retained":        retained,
+	}
+	if s.dur != nil {
+		replayStats["deep_replays"] = s.dur.Stats().DeepReplays
+	}
 	payload := map[string]any{
 		"engine": st,
 		"breakdown": map[string]any{
@@ -456,11 +601,10 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 			"topic": topic, "sim_ub": simUB, "prob_ub": probUB,
 			"inst_pair": instPair, "total": total,
 		},
-		"replay": map[string]any{
-			"oldest_retained": oldest,
-			"next_seq":        next,
-			"retained":        retained,
-		},
+		// oldest_retained is the oldest cursor /results?from= can serve —
+		// through the in-memory ring or, with -wal-dir, WAL-backed deep
+		// replay; ring_oldest is the in-memory window alone.
+		"replay":          replayStats,
 		"subscribers":     nSubs,
 		"dropped_results": s.dropped.Load(),
 		"rate_limited":    s.rateLimited.Load(),

@@ -426,7 +426,7 @@ func TestServeReplayFromFutureSeq(t *testing.T) {
 // startDurableServer boots a server over a durability directory via the
 // auto-recovery path (newest checkpoint + WAL replay), exactly as -wal-dir
 // does.
-func startDurableServer(t *testing.T, f serveFixture, shards int, dir string) (*server, *engine.Durable, *httptest.Server) {
+func startDurableServer(t *testing.T, f serveFixture, shards, ringCap int, dir string, dcfg engine.DurableConfig) (*server, *engine.Durable, *httptest.Server) {
 	t.Helper()
 	path, ckpt, err := engine.LatestCheckpoint(dir)
 	if err != nil {
@@ -436,17 +436,50 @@ func startDurableServer(t *testing.T, f serveFixture, shards int, dir string) (*
 	if ckpt != nil {
 		ringBase = ckpt.Seq
 	}
-	srv := newServer(f.sh.Schema, 4096, ringBase, "")
+	srv := newServer(f.sh.Schema, ringCap, ringBase, "")
 	srv.streams = f.cfg.Streams
+	dcfg.Dir = dir
+	dcfg.Checkpoint = ckpt
+	dcfg.CheckpointPath = path
+	dcfg.NoSync = true
 	dur, err := engine.OpenDurable(f.sh,
-		engine.Config{Core: f.cfg, Shards: shards, OnResult: srv.onResult},
-		engine.DurableConfig{Dir: dir, Checkpoint: ckpt, CheckpointPath: path, NoSync: true})
+		engine.Config{Core: f.cfg, Shards: shards, OnResult: srv.onResult}, dcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv.eng = dur.Eng
 	srv.dur = dur
 	return srv, dur, httptest.NewServer(srv.routes())
+}
+
+// readRawResults streams /results?from= and returns the first n raw NDJSON
+// lines — for byte-identity comparisons across restarts.
+func readRawResults(t *testing.T, ts *httptest.Server, query string, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/results"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /results%s: status %d", query, resp.StatusCode)
+	}
+	var out []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for len(out) < n && sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	if len(out) < n {
+		t.Fatalf("stream ended after %d lines, want %d (scan err %v)", len(out), n, sc.Err())
+	}
+	return out
 }
 
 // TestServeDurableRestart is the serving half of the durability contract: a
@@ -457,7 +490,7 @@ func TestServeDurableRestart(t *testing.T) {
 	f := loadServeFixture(t)
 	dir := t.TempDir()
 
-	srv1, dur1, ts1 := startDurableServer(t, f, 2, dir)
+	srv1, dur1, ts1 := startDurableServer(t, f, 2, 4096, dir, engine.DurableConfig{})
 	ingest(t, ts1, f.stream[:40])
 	if _, err := dur1.CheckpointNow(); err != nil {
 		t.Fatal(err)
@@ -471,7 +504,7 @@ func TestServeDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv2, dur2, ts2 := startDurableServer(t, f, 4, dir)
+	srv2, dur2, ts2 := startDurableServer(t, f, 4, 4096, dir, engine.DurableConfig{})
 	defer func() {
 		close(srv2.done)
 		ts2.Close()
@@ -498,21 +531,17 @@ func TestServeDurableRestart(t *testing.T) {
 	if cont[0].Seq != 95 || cont[24].Seq != 119 {
 		t.Fatalf("spanning read covers [%d,%d], want [95,119]", cont[0].Seq, cont[24].Seq)
 	}
-	// Results older than the restored checkpoint are genuinely gone — exact
-	// replay of them is impossible — and report the post-restart base.
-	goneResp, err := http.Get(ts2.URL + "/results?from=10")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var gone struct {
-		OldestRetained int64 `json:"oldest_retained"`
-	}
-	if err := json.NewDecoder(goneResp.Body).Decode(&gone); err != nil {
-		t.Fatal(err)
-	}
-	goneResp.Body.Close()
-	if goneResp.StatusCode != http.StatusGone || gone.OldestRetained != 40 {
-		t.Fatalf("pre-checkpoint cursor: status %d oldest %d, want 410/40", goneResp.StatusCode, gone.OldestRetained)
+	// Results older than the restored checkpoint never entered the rebuilt
+	// ring, but the WAL still reaches back to genesis — deep replay
+	// regenerates them exactly instead of the pre-PR 410.
+	pre := readResults(t, ts2, "?from=10", 40)
+	for i, line := range pre {
+		if line.Seq != int64(10+i) {
+			t.Fatalf("deep-replayed line %d has seq %d, want %d", i, line.Seq, 10+i)
+		}
+		if line.RID != f.stream[10+i].RID {
+			t.Fatalf("deep-replayed seq %d has rid %s, want %s", line.Seq, line.RID, f.stream[10+i].RID)
+		}
 	}
 
 	// /stats surfaces WAL and checkpointer health.
@@ -536,6 +565,21 @@ func TestServeDurableRestart(t *testing.T) {
 	}
 	if durStats["recovered_from"].(string) == "" {
 		t.Fatal("durability.recovered_from empty after a snapshot recovery")
+	}
+	// The replay block reflects deep-replay reach: the ring starts at the
+	// restored watermark, but /results?from= can reach back to genesis.
+	replay, ok := st["replay"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no replay block: %v", st)
+	}
+	if got := replay["oldest_retained"].(float64); got != 0 {
+		t.Fatalf("/stats replay.oldest_retained %v, want 0 (deep-replay reach)", got)
+	}
+	if got := replay["ring_oldest"].(float64); got != 40 {
+		t.Fatalf("/stats replay.ring_oldest %v, want 40", got)
+	}
+	if got := replay["deep_replays"].(float64); got < 1 {
+		t.Fatalf("/stats replay.deep_replays %v, want >= 1", got)
 	}
 }
 
@@ -603,21 +647,27 @@ func TestServeIngestRateLimit(t *testing.T) {
 }
 
 // TestServeCrashRestartRingRebuild is the black-box restart test of the
-// ring-rebuild path: ingest over HTTP, SIGKILL-style teardown (the durability
+// replay paths: ingest over HTTP, SIGKILL-style teardown (the durability
 // directory is cloned mid-flight, exactly the bytes a kill -9 leaves — no
-// drain, no exit checkpoint), reboot a -wal-dir server on the clone, and a
-// /results?from= cursor taken before the crash must resume across the
-// restart without a 410, serving the gap from the recovery-rebuilt ring.
+// drain, no exit checkpoint), reboot a -wal-dir server on the clone with a
+// replay ring too small to hold the backlog, and a /results?from= cursor
+// taken before the crash — including one far below the rebuilt ring — must
+// resume across the restart without a 410, byte-identical to the pre-crash
+// stream: the ring serves its window, WAL-backed deep replay regenerates
+// everything below it.
 func TestServeCrashRestartRingRebuild(t *testing.T) {
 	f := loadServeFixture(t)
 	dir := t.TempDir()
 
-	srv1, dur1, ts1 := startDurableServer(t, f, 2, dir)
+	srv1, dur1, ts1 := startDurableServer(t, f, 2, 4096, dir, engine.DurableConfig{})
 	ingest(t, ts1, f.stream[:40])
 	if _, err := dur1.CheckpointNow(); err != nil {
 		t.Fatal(err)
 	}
 	ingest(t, ts1, f.stream[40:100])
+	// The byte-level reference: the full pre-crash result stream as the
+	// uninterrupted server serialized it.
+	want := readRawResults(t, ts1, "?from=0", 100)
 	// The kill: clone the durable state while the server is still up. The
 	// teardown below is only goroutine hygiene — recovery works off the
 	// clone, which never saw a graceful close.
@@ -629,7 +679,9 @@ func TestServeCrashRestartRingRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv2, dur2, ts2 := startDurableServer(t, f, 4, crashDir)
+	// Restart with a 16-slot ring: the rebuilt ring holds only [84, 100), so
+	// every earlier cursor exercises deep replay.
+	srv2, dur2, ts2 := startDurableServer(t, f, 4, 16, crashDir, engine.DurableConfig{})
 	defer func() {
 		close(srv2.done)
 		ts2.Close()
@@ -638,8 +690,17 @@ func TestServeCrashRestartRingRebuild(t *testing.T) {
 	if dur2.ResumeSeq() != 100 || dur2.Replayed() != 60 {
 		t.Fatalf("crash recovery resumed at %d with %d replayed, want 100/60", dur2.ResumeSeq(), dur2.Replayed())
 	}
-	// The pre-crash cursor spans the restart: sequences [50, 100) stream
-	// back in order with their original RIDs — no 410, no gap, no rewind.
+	// A cursor far below the ring (and below the restored checkpoint at 40):
+	// the whole history streams back byte-identical to the pre-crash run —
+	// deep replay for [0, 84), the live ring from there.
+	got := readRawResults(t, ts2, "?from=0", 100)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deep-replayed line %d differs across the crash:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	// A mid-gap cursor spans the restart the same way: no 410, no gap, no
+	// rewind.
 	lines := readResults(t, ts2, "?from=50", 50)
 	for i, line := range lines {
 		if line.Seq != int64(50+i) {
@@ -655,6 +716,88 @@ func TestServeCrashRestartRingRebuild(t *testing.T) {
 	if cont[0].Seq != 98 || cont[11].Seq != 109 {
 		t.Fatalf("spanning read covers [%d,%d], want [98,109]", cont[0].Seq, cont[11].Seq)
 	}
+}
+
+// TestServeDeepReplayDepthAndPrunedCoverage pins down when 410 is still the
+// answer: a cursor below the deep-replay reach (WAL genuinely truncated by
+// checkpoint pruning), or a gap wider than -replay-depth allows. In both
+// cases oldest_retained names the deepest reachable sequence.
+func TestServeDeepReplayDepthAndPrunedCoverage(t *testing.T) {
+	f := loadServeFixture(t)
+	dir := t.TempDir()
+
+	// Tiny WAL segments + KeepCheckpoints=1 so pruning genuinely drops
+	// coverage below the newest checkpoint; an 8-slot ring forces every old
+	// cursor through the deep-replay path.
+	srv, dur, ts := startDurableServer(t, f, 2, 8, dir,
+		engine.DurableConfig{SegmentBytes: 512, KeepCheckpoints: 1})
+	defer func() {
+		close(srv.done)
+		ts.Close()
+		_ = dur.Close(false)
+	}()
+	ingest(t, ts, f.stream[:60])
+	if _, err := dur.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, ts, f.stream[60:100])
+	if _, err := dur.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := dur.Stats()
+	if st.WAL.FirstSeq == 0 {
+		t.Skip("wal not truncated at this segment size; cannot exercise pruned coverage")
+	}
+	if st.ReplayReach != 100 {
+		t.Fatalf("deep-replay reach %d, want 100 (the only retained checkpoint)", st.ReplayReach)
+	}
+
+	// Below the reach: genuinely gone, and oldest_retained names the oldest
+	// cursor that WOULD work — the ring's tail (92), since the ring reaches
+	// further down than the pruned checkpoint+WAL coverage here.
+	resp, err := http.Get(ts.URL + "/results?from=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gone struct {
+		OldestRetained int64 `json:"oldest_retained"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || gone.OldestRetained != 92 {
+		t.Fatalf("below-coverage cursor: status %d oldest %d, want 410/92", resp.StatusCode, gone.OldestRetained)
+	}
+
+	// At the reach: deep replay serves it even though the ring starts at 92.
+	ingest(t, ts, f.stream[100:120])
+	lines := readResults(t, ts, "?from=100", 20)
+	for i, line := range lines {
+		if line.Seq != int64(100+i) {
+			t.Fatalf("line %d has seq %d, want %d", i, line.Seq, 100+i)
+		}
+	}
+
+	// Depth bound: a 3-arrival budget cannot regenerate the 12-arrival gap
+	// to the ring's tail (112).
+	srv.replayDepth = 3
+	resp2, err := http.Get(ts.URL + "/results?from=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("over-depth replay: status %d, want 410", resp2.StatusCode)
+	}
+	// The gate measures to the splice point, not the WAL frontier: 15 covers
+	// the 12-arrival gap to the ring even though the frontier is 20 away.
+	srv.replayDepth = 15
+	tail := readResults(t, ts, "?from=100", 20)
+	if tail[0].Seq != 100 || tail[19].Seq != 119 {
+		t.Fatalf("in-depth replay spans [%d,%d], want [100,119]", tail[0].Seq, tail[19].Seq)
+	}
+	srv.replayDepth = 0
 }
 
 // TestServeRebalanceEndpoint drives the admin rebalance over HTTP: shard

@@ -140,6 +140,10 @@ type Durability struct {
 	// CheckpointKeep is -checkpoint-keep: snapshots retained, ≥ 1 (commands
 	// without the flag pass 1).
 	CheckpointKeep int
+	// CheckpointDelta is -checkpoint-delta: incremental (delta) checkpoints
+	// written between full snapshots, ≥ 0 (0 = always full; requires WALDir
+	// when set — deltas only exist under the checkpointer).
+	CheckpointDelta int
 }
 
 // Validate checks the durability flag combinations, joining all violations
@@ -159,6 +163,39 @@ func (d Durability) Validate() error {
 	}
 	if d.CheckpointKeep < 1 {
 		errs = append(errs, fmt.Errorf("-checkpoint-keep %d, need >= 1", d.CheckpointKeep))
+	}
+	if d.CheckpointDelta < 0 {
+		errs = append(errs, fmt.Errorf("-checkpoint-delta %d, need >= 0 (0 = full snapshots only)", d.CheckpointDelta))
+	}
+	if d.CheckpointDelta > 0 && d.WALDir == "" {
+		errs = append(errs, errors.New(
+			"-checkpoint-delta requires the WAL directory flag: delta checkpoints are written by its background checkpointer"))
+	}
+	return errors.Join(errs...)
+}
+
+// Replay are the /results replay flags of terids-serve. The ring capacity is
+// load-bearing: a non-positive -replay-buffer would divide by zero in the
+// ring's seq%capacity indexing, so it is rejected here at startup.
+type Replay struct {
+	// Buffer is -replay-buffer: merged results retained in the in-memory
+	// replay ring, ≥ 1.
+	Buffer int
+	// Depth is -replay-depth: the maximum arrivals one WAL-backed deep
+	// replay may re-run, ≥ 0 (0 = unlimited; requires a WAL directory to
+	// matter, but is accepted without one since it is purely a bound).
+	Depth int64
+}
+
+// Validate checks the replay flag ranges, joining all violations into one
+// error.
+func (r Replay) Validate() error {
+	var errs []error
+	if r.Buffer < 1 {
+		errs = append(errs, fmt.Errorf("-replay-buffer %d, need >= 1 (the replay ring cannot be empty)", r.Buffer))
+	}
+	if r.Depth < 0 {
+		errs = append(errs, fmt.Errorf("-replay-depth %d, need >= 0 (0 = unlimited)", r.Depth))
 	}
 	return errors.Join(errs...)
 }

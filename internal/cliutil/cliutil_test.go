@@ -184,3 +184,65 @@ func TestDurabilityJoinsAllViolations(t *testing.T) {
 		}
 	}
 }
+
+// TestDurabilityDeltaFlags: -checkpoint-delta rides on the background
+// checkpointer, so it needs a WAL directory and a non-negative count.
+func TestDurabilityDeltaFlags(t *testing.T) {
+	for _, d := range []Durability{
+		{WALDir: "state", CheckpointKeep: 1, CheckpointDelta: 4},
+		{WALDir: "state", CheckpointInterval: time.Minute, CheckpointKeep: 2, CheckpointDelta: 8},
+		{CheckpointKeep: 1, CheckpointDelta: 0},
+	} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", d, err)
+		}
+	}
+	cases := []struct {
+		name string
+		d    Durability
+		want string
+	}{
+		{"delta negative", Durability{WALDir: "state", CheckpointKeep: 1, CheckpointDelta: -1}, "-checkpoint-delta"},
+		{"delta without wal dir", Durability{CheckpointKeep: 1, CheckpointDelta: 3}, "-checkpoint-delta requires"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%+v) = %v, want mention of %q", tc.d, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplayFlags is the regression test for the replay-ring startup panic:
+// a non-positive -replay-buffer used to reach newResultRing and divide by
+// zero on the first merged result. It must be rejected here, before any
+// engine starts.
+func TestReplayFlags(t *testing.T) {
+	for _, r := range []Replay{
+		{Buffer: 1},
+		{Buffer: 4096, Depth: 1 << 20},
+	} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", r, err)
+		}
+	}
+	cases := []struct {
+		name string
+		r    Replay
+		want string
+	}{
+		{"buffer zero", Replay{Buffer: 0}, "-replay-buffer"},
+		{"buffer negative", Replay{Buffer: -8, Depth: 10}, "-replay-buffer"},
+		{"depth negative", Replay{Buffer: 64, Depth: -1}, "-replay-depth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%+v) = %v, want mention of %q", tc.r, err, tc.want)
+			}
+		})
+	}
+}

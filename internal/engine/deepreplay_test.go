@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeltaCheckpointChainRecovery: the checkpointer writes v3 deltas
+// between full snapshots, prune keeps whole chains alive, and recovery off a
+// SIGKILL clone materializes the newest chain into the exact engine state —
+// byte-identical results across the restart.
+func TestDeltaCheckpointChainRecovery(t *testing.T) {
+	f := loadFixture(t)
+	wantPerArrival, wantFinal := runProcessor(t, f)
+	n := len(f.stream)
+	dir := t.TempDir()
+
+	first := newCollector()
+	d1, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2, OnResult: first.onResult},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 4096, KeepCheckpoints: 2, DeltaEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := 7 * n / 8
+	for i, r := range f.stream[:kill] {
+		if err := d1.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%40 == 0 {
+			if _, err := d1.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := d1.Stats()
+	if st.DeltaCheckpoints == 0 {
+		t.Fatalf("no delta checkpoints written across %d checkpoints", st.Checkpoints)
+	}
+	files, _, err := listCheckpointFiles(CheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fulls, deltas int
+	for _, cf := range files {
+		if cf.base < 0 {
+			fulls++
+		} else {
+			deltas++
+		}
+	}
+	if fulls == 0 || deltas == 0 {
+		t.Fatalf("on-disk mix fulls=%d deltas=%d, want both (files %+v)", fulls, deltas, files)
+	}
+
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	if err := d1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// LatestCheckpoint must materialize the newest state even when it is the
+	// head of a delta chain.
+	path, c, err := LatestCheckpoint(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastCkpt := int64((kill / 40) * 40)
+	if c == nil || c.Seq != lastCkpt {
+		t.Fatalf("latest checkpoint watermark %v, want %d", c, lastCkpt)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("materialized chain state invalid: %v", err)
+	}
+	if filepath.Dir(path) != CheckpointDir(crashDir) {
+		t.Fatalf("latest checkpoint path %s outside %s", path, CheckpointDir(crashDir))
+	}
+
+	second := newCollector()
+	d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 3, OnResult: second.onResult},
+		DurableConfig{Dir: crashDir, NoSync: true, SegmentBytes: 4096, KeepCheckpoints: 2, DeltaEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResumeSeq() != int64(kill) {
+		t.Fatalf("recovery resumed at %d, want %d", d2.ResumeSeq(), kill)
+	}
+	for _, r := range f.stream[kill:] {
+		if err := d2.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d2.Close(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := int(lastCkpt); i < n; i++ {
+		got, ok := second.pairs[int64(i)]
+		if !ok {
+			t.Fatalf("arrival %d never finalized after chain recovery", i)
+		}
+		if !samePairs(wantPerArrival[i], got) {
+			t.Fatalf("arrival %d diverged after delta-chain recovery: got %v, reference %v",
+				i, got, wantPerArrival[i])
+		}
+	}
+	if !samePairs(wantFinal, d2.Eng.ResultSet()) {
+		t.Fatal("final entity set differs after delta-chain recovery")
+	}
+}
+
+// TestPruneSkipsJunkFiles: a stray non-checkpoint file in the checkpoint
+// directory must not abort pruning or the WAL truncation behind it — and
+// must never corrupt the truncation watermark (the old code let an
+// unparsable ckpt-*.ckpt name displace real checkpoints from the keep window
+// and truncate the WAL at the newest watermark, gapping fallback recovery).
+func TestPruneSkipsJunkFiles(t *testing.T) {
+	f := loadFixture(t)
+	dir := t.TempDir()
+	d, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 1024, KeepCheckpoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := CheckpointDir(dir)
+	junk := []string{"garbage.txt", "ckpt-notanumber.ckpt", "delta-junk.dckpt"}
+	for _, name := range junk {
+		if err := os.WriteFile(filepath.Join(ckptDir, name), []byte("not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(ckptDir, "ckpt-00000000000000000001.ckpt.d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, r := range f.stream[:90] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == 29 || i == 59 || i == 89 {
+			if _, err := d.CheckpointNow(); err != nil {
+				t.Fatalf("checkpoint with junk in dir: %v", err)
+			}
+		}
+	}
+	st := d.Stats()
+	if err := d.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	// Junk untouched, real checkpoints pruned to KeepCheckpoints.
+	for _, name := range junk {
+		if _, err := os.Stat(filepath.Join(ckptDir, name)); err != nil {
+			t.Fatalf("prune touched the stray file %s: %v", name, err)
+		}
+	}
+	files, skipped, err := listCheckpointFiles(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0].seq != 90 || files[1].seq != 60 {
+		t.Fatalf("retained checkpoint files %+v, want watermarks 90 and 60", files)
+	}
+	if len(skipped) != len(junk)+1 {
+		t.Fatalf("skipped %v, want the %d junk entries", skipped, len(junk)+1)
+	}
+	// The WAL truncation used the OLDEST retained watermark (60), not the
+	// newest — the fallback state keeps its replay suffix.
+	if st.WAL.FirstSeq == 0 || st.WAL.FirstSeq > 60 {
+		t.Fatalf("wal first retained seq %d, want in (0,60]", st.WAL.FirstSeq)
+	}
+	// And recovery still works with the junk sitting there.
+	d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResumeSeq() != 90 {
+		t.Fatalf("recovery with junk resumed at %d, want 90", d2.ResumeSeq())
+	}
+	if err := d2.Close(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deepCollect runs a deep replay from `from` and returns the regenerated
+// results keyed by sequence, plus the highest sequence seen.
+func deepCollect(t *testing.T, d *Durable, from int64, stopAfter int) (map[int64]Result, int64) {
+	t.Helper()
+	out := make(map[int64]Result)
+	high := int64(-1)
+	err := d.DeepReplay(context.Background(), from, 0, 0, func(res Result) bool {
+		if _, dup := out[res.Seq]; dup {
+			t.Errorf("deep replay emitted seq %d twice", res.Seq)
+		}
+		if high >= 0 && res.Seq != high+1 {
+			t.Errorf("deep replay jumped from seq %d to %d", high, res.Seq)
+		}
+		out[res.Seq] = res
+		high = res.Seq
+		return stopAfter <= 0 || len(out) < stopAfter
+	})
+	if err != nil {
+		t.Fatalf("DeepReplay(from=%d): %v", from, err)
+	}
+	return out, high
+}
+
+// TestDeepReplayExactRegeneration is the property test of the tentpole
+// contract: for any cursor within retained coverage — including sequence
+// zero and cursors far below every checkpoint — DeepReplay regenerates the
+// merged result stream byte-identically to the uninterrupted reference
+// (pairs, order, probabilities, rejections), across a SIGKILL restart and a
+// K→K' reshard, with delta checkpoints in the chain. Run under -race in CI.
+func TestDeepReplayExactRegeneration(t *testing.T) {
+	f := loadFixture(t)
+	wantPerArrival, _ := runProcessor(t, f)
+	n := len(f.stream)
+	dir := t.TempDir()
+
+	// Default (large) segments: the tail segment is never removed, so the WAL
+	// keeps genesis coverage and deep replay can regenerate from sequence 0.
+	d1, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, KeepCheckpoints: 3, DeltaEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := 3 * n / 4
+	for i, r := range f.stream[:kill] {
+		if err := d1.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%50 == 0 {
+			if _, err := d1.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	if err := d1.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover at a different K and finish the stream live.
+	d2, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 3},
+		DurableConfig{Dir: crashDir, NoSync: true, KeepCheckpoints: 3, DeltaEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close(false)
+	for _, r := range f.stream[kill:] {
+		if err := d2.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d2.Eng.Checkpoint(); err != nil { // barrier = drain
+		t.Fatal(err)
+	}
+
+	reach, ok := d2.DeepReach()
+	if !ok || reach != 0 {
+		t.Fatalf("deep reach %d/%v, want 0 (wal never truncated)", reach, ok)
+	}
+	checkRange := func(from int64) {
+		t.Helper()
+		got, high := deepCollect(t, d2, from, 0)
+		if from < int64(n) && high+1 < int64(n) {
+			t.Fatalf("deep replay from %d stopped at seq %d, frontier is %d", from, high, n)
+		}
+		for seq := from; seq < int64(n); seq++ {
+			res, ok := got[seq]
+			if !ok {
+				t.Fatalf("deep replay from %d missed seq %d", from, seq)
+			}
+			if res.Seq != seq {
+				t.Fatalf("result seq %d mislabeled as %d", seq, res.Seq)
+			}
+			if !samePairs(wantPerArrival[seq], res.Pairs) {
+				t.Fatalf("deep replay from %d: seq %d pairs %v, reference %v",
+					from, seq, res.Pairs, wantPerArrival[seq])
+			}
+		}
+		if _, below := got[from-1]; below {
+			t.Fatalf("deep replay from %d emitted a result below the cursor", from)
+		}
+	}
+	checkRange(0)            // genesis replay, below every checkpoint
+	checkRange(55)           // lands between checkpoints: base is a chain state
+	checkRange(int64(kill))  // spans the crash point
+	checkRange(int64(n) - 3) // almost nothing to regenerate
+	checkRange(int64(n))     // nothing at all
+
+	// Early stop via emit=false delivers an exact prefix.
+	got, high := deepCollect(t, d2, 10, 5)
+	if len(got) != 5 || high != 14 {
+		t.Fatalf("early-stopped replay returned %d results to %d, want 5 to 14", len(got), high)
+	}
+
+	// Depth limit: a gap wider than the bound is refused up front — but the
+	// gate measures to the caller's splice point when one is given, so a
+	// consumer that only needs a short prefix is not rejected for the length
+	// of the whole log.
+	err = d2.DeepReplay(context.Background(), 0, 0, 10, func(Result) bool { return true })
+	if !errors.Is(err, ErrReplayDepthExceeded) {
+		t.Fatalf("DeepReplay over the depth limit returned %v, want ErrReplayDepthExceeded", err)
+	}
+	short := 0
+	err = d2.DeepReplay(context.Background(), 0, 8, 10, func(res Result) bool {
+		short++
+		return res.Seq < 7 // consume [0, 8) then stop, matching the upTo hint
+	})
+	if err != nil || short != 8 {
+		t.Fatalf("DeepReplay with upTo=8 limit=10: err=%v emitted=%d, want nil/8", err, short)
+	}
+}
+
+// TestDeepReplayCoveragePruned: once pruning truncates the WAL past old
+// checkpoints, cursors below the reach get ErrNoReplayCoverage and DeepReach
+// reports exactly where regeneration becomes possible again.
+func TestDeepReplayCoveragePruned(t *testing.T) {
+	f := loadFixture(t)
+	dir := t.TempDir()
+	d, err := OpenDurable(f.sh, Config{Core: f.cfg, Shards: 2},
+		DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 512, KeepCheckpoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(false)
+	for i, r := range f.stream[:120] {
+		if err := d.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == 59 || i == 99 {
+			if _, err := d.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := d.Stats()
+	if st.WAL.FirstSeq == 0 {
+		t.Skip("wal not truncated at this segment size; cannot exercise pruned coverage")
+	}
+	reach, ok := d.DeepReach()
+	if !ok || reach != 100 {
+		t.Fatalf("deep reach %d/%v, want 100 (the only retained checkpoint)", reach, ok)
+	}
+	err = d.DeepReplay(context.Background(), 50, 0, 0, func(Result) bool { return true })
+	if !errors.Is(err, ErrNoReplayCoverage) {
+		t.Fatalf("DeepReplay below coverage returned %v, want ErrNoReplayCoverage", err)
+	}
+	if !strings.Contains(err.Error(), "wal starts at") {
+		t.Fatalf("coverage error does not explain the bound: %v", err)
+	}
+	// At the reach itself, regeneration works.
+	got, _ := deepCollect(t, d, reach, 0)
+	if len(got) != 20 {
+		t.Fatalf("replay from the reach regenerated %d results, want 20", len(got))
+	}
+}

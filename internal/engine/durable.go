@@ -8,15 +8,19 @@
 //
 // On-disk layout under one durability directory:
 //
-//	<dir>/<seq>.wal              arrival log segments (internal/wal)
-//	<dir>/checkpoints/ckpt-<seq>.ckpt   snapshots (internal/snapshot), atomic
+//	<dir>/<seq>.wal                           arrival log segments (internal/wal)
+//	<dir>/checkpoints/ckpt-<seq>.ckpt         full snapshots (internal/snapshot), atomic
+//	<dir>/checkpoints/delta-<seq>-<base>.dckpt  v3 delta checkpoints (diff over base)
 //
 // The checkpointer goroutine periodically runs the engine's barrier
-// Checkpoint, writes the snapshot atomically (temp + rename), prunes all but
-// the newest KeepCheckpoints snapshots, and truncates WAL segments older
-// than the oldest snapshot still retained — so every retained snapshot,
-// not just the newest, keeps the WAL suffix it needs for exact recovery
-// (the corrupt-newest fallback in LatestCheckpoint depends on this).
+// Checkpoint and writes it atomically (temp + rename) — as a delta over the
+// previous checkpoint when DeltaEvery allows, as a full snapshot otherwise —
+// prunes all but the newest KeepCheckpoints states (keeping every base a
+// retained delta chain references), and truncates WAL segments older than
+// the oldest base still retained — so every retained state, not just the
+// newest, keeps the WAL suffix it needs for exact recovery (the
+// corrupt-newest fallback in LatestCheckpoint depends on this, and deep
+// replay regenerates historical results from exactly that coverage).
 package engine
 
 import (
@@ -28,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"terids/internal/core"
@@ -38,12 +43,61 @@ import (
 // checkpointSubdir is the snapshot directory under the durability root.
 const checkpointSubdir = "checkpoints"
 
-// ckptPrefix/ckptSuffix frame snapshot filenames; the middle is the
+// ckptPrefix/ckptSuffix frame full-snapshot filenames; the middle is the
 // zero-padded watermark, so lexicographic order is watermark order.
+// Delta checkpoints are named delta-<seq>-<base>.dckpt: the filename carries
+// both watermarks so pruning and chain resolution never have to open files.
 const (
-	ckptPrefix = "ckpt-"
-	ckptSuffix = ".ckpt"
+	ckptPrefix  = "ckpt-"
+	ckptSuffix  = ".ckpt"
+	deltaPrefix = "delta-"
+	deltaSuffix = ".dckpt"
 )
+
+// maxChainDepth bounds delta-chain walks against corrupt or adversarial
+// directories; honest chains are at most DeltaEvery long.
+const maxChainDepth = 4096
+
+// ckptFile is one parsed checkpoint filename: a full snapshot (base < 0) or
+// a delta over the state at base.
+type ckptFile struct {
+	name string
+	seq  int64
+	base int64
+}
+
+func ckptName(seq int64) string {
+	return fmt.Sprintf("%s%020d%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func deltaName(seq, base int64) string {
+	return fmt.Sprintf("%s%020d-%020d%s", deltaPrefix, seq, base, deltaSuffix)
+}
+
+// parseCkptFileName recognizes both checkpoint filename shapes.
+func parseCkptFileName(name string) (ckptFile, bool) {
+	if strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix) {
+		seq, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+		if err != nil || seq < 0 {
+			return ckptFile{}, false
+		}
+		return ckptFile{name: name, seq: seq, base: -1}, true
+	}
+	if strings.HasPrefix(name, deltaPrefix) && strings.HasSuffix(name, deltaSuffix) {
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, deltaPrefix), deltaSuffix)
+		seqStr, baseStr, ok := strings.Cut(mid, "-")
+		if !ok {
+			return ckptFile{}, false
+		}
+		seq, err1 := strconv.ParseInt(seqStr, 10, 64)
+		base, err2 := strconv.ParseInt(baseStr, 10, 64)
+		if err1 != nil || err2 != nil || base < 0 || seq <= base {
+			return ckptFile{}, false
+		}
+		return ckptFile{name: name, seq: seq, base: base}, true
+	}
+	return ckptFile{}, false
+}
 
 // DurableConfig tunes the durability subsystem around an engine.
 type DurableConfig struct {
@@ -52,8 +106,16 @@ type DurableConfig struct {
 	Dir string
 	// CheckpointInterval enables the background checkpointer when > 0.
 	CheckpointInterval time.Duration
-	// KeepCheckpoints bounds retained snapshots. Default: 2.
+	// KeepCheckpoints bounds retained checkpoint states. Default: 2. A delta
+	// state keeps its whole base chain on disk, so the file count (and the
+	// WAL suffix, which is truncated at the oldest base still needed) can
+	// exceed this by up to DeltaEvery.
 	KeepCheckpoints int
+	// DeltaEvery, when > 0, makes the checkpointer write incremental (delta)
+	// checkpoints — a diff over the previous checkpoint, snapshot format v3 —
+	// with a full snapshot every DeltaEvery deltas. 0 writes only full
+	// snapshots.
+	DeltaEvery int
 	// SegmentBytes / QueueDepth / NoSync pass through to the WAL.
 	SegmentBytes int64
 	QueueDepth   int
@@ -92,13 +154,27 @@ type Durable struct {
 	replayed      int64
 	resumeSeq     int64
 
+	// sh/engCfg are what OpenDurable built the engine from; deep replay
+	// reuses them to spin up throwaway engines over the same shared state.
+	sh     *core.Shared
+	engCfg Config
+
 	ckptMu       sync.Mutex
 	lastCkptSeq  int64
 	lastCkptPath string
 	lastCkptTime time.Time
 	lastCkptErr  error
 	ckptCount    int64
+	deltaCount   int64
 	snapshots    int
+	// prevCkpt is the in-memory image of the newest on-disk checkpoint — the
+	// base the next delta diffs against; deltasSince counts deltas written
+	// since the last full snapshot.
+	prevCkpt    *snapshot.Checkpoint
+	deltasSince int
+	junkWarned  bool
+
+	deepReplays atomic.Int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -115,62 +191,118 @@ type DurabilityStats struct {
 	// ReplayLag is how many durable arrivals the merged output still trails
 	// by — the work a crash right now would replay beyond the WAL's tail.
 	ReplayLag int64 `json:"replay_lag"`
-	// Checkpointer health.
+	// Checkpointer health. Checkpoints counts every checkpoint taken;
+	// DeltaCheckpoints the subset written as v3 deltas. SnapshotsRetained
+	// counts retained checkpoint files (chain bases included).
 	Checkpoints              int64   `json:"checkpoints"`
+	DeltaCheckpoints         int64   `json:"delta_checkpoints"`
 	SnapshotsRetained        int     `json:"snapshots_retained"`
 	LastCheckpointSeq        int64   `json:"last_checkpoint_seq"`
 	LastCheckpointPath       string  `json:"last_checkpoint_path,omitempty"`
 	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"` // -1: never
 	LastCheckpointError      string  `json:"last_checkpoint_error,omitempty"`
+	// ReplayReach is the oldest sequence deep replay can regenerate results
+	// from (checkpoint + retained WAL coverage); -1 when deep replay has no
+	// coverage at all. DeepReplays counts completed deep replays.
+	ReplayReach int64 `json:"replay_reach"`
+	DeepReplays int64 `json:"deep_replays"`
 }
 
 // CheckpointDir returns the snapshot directory under a durability root.
 func CheckpointDir(dir string) string { return filepath.Join(dir, checkpointSubdir) }
 
-// listCheckpoints returns the snapshot filenames in a checkpoint directory,
-// newest first (the filenames embed the zero-padded watermark, so
-// lexicographic order is watermark order).
-func listCheckpoints(ckptDir string) ([]string, error) {
+// listCheckpointFiles returns the parsed checkpoint files in a checkpoint
+// directory, newest first (ties prefer the full snapshot), plus the names of
+// entries that are not checkpoint files at all — callers skip those instead
+// of letting one stray file abort pruning or recovery.
+func listCheckpointFiles(ckptDir string) (files []ckptFile, skipped []string, err error) {
 	des, err := os.ReadDir(ckptDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			skipped = append(skipped, de.Name())
+			continue
+		}
+		f, ok := parseCkptFileName(de.Name())
+		if !ok {
+			skipped = append(skipped, de.Name())
+			continue
+		}
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].seq != files[j].seq {
+			return files[i].seq > files[j].seq
+		}
+		return files[i].base < files[j].base // full (-1) before delta
+	})
+	return files, skipped, nil
+}
+
+// indexBySeq maps each checkpoint state watermark to its file, preferring a
+// full snapshot when both shapes exist at the same watermark.
+func indexBySeq(files []ckptFile) map[int64]ckptFile {
+	m := make(map[int64]ckptFile, len(files))
+	for _, f := range files {
+		if old, ok := m[f.seq]; !ok || (old.base >= 0 && f.base < 0) {
+			m[f.seq] = f
+		}
+	}
+	return m
+}
+
+// materializeCheckpoint loads the full checkpoint state a file represents:
+// a full snapshot reads directly; a delta resolves its base chain (deltas on
+// deltas, terminating at a full snapshot) and applies the diffs forward.
+func materializeCheckpoint(ckptDir string, bySeq map[int64]ckptFile, f ckptFile, depth int) (*snapshot.Checkpoint, error) {
+	if depth > maxChainDepth {
+		return nil, fmt.Errorf("engine: delta chain for %s deeper than %d", f.name, maxChainDepth)
+	}
+	path := filepath.Join(ckptDir, f.name)
+	if f.base < 0 {
+		return snapshot.ReadFile(path)
+	}
+	dl, err := snapshot.ReadDeltaFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	for _, de := range des {
-		if n := de.Name(); !de.IsDir() && strings.HasPrefix(n, ckptPrefix) && strings.HasSuffix(n, ckptSuffix) {
-			names = append(names, n)
-		}
+	if dl.Seq != f.seq || dl.BaseSeq != f.base {
+		return nil, fmt.Errorf("engine: delta %s spans %d→%d, filename says %d→%d",
+			f.name, dl.BaseSeq, dl.Seq, f.base, f.seq)
 	}
-	sort.Sort(sort.Reverse(sort.StringSlice(names)))
-	return names, nil
+	bf, ok := bySeq[f.base]
+	if !ok || bf.seq >= f.seq {
+		return nil, fmt.Errorf("engine: delta %s: base checkpoint at seq %d missing", f.name, f.base)
+	}
+	base, err := materializeCheckpoint(ckptDir, bySeq, bf, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.ApplyDelta(base, dl)
 }
 
-// ckptSeqFromName parses the watermark out of a snapshot filename.
-func ckptSeqFromName(name string) (int64, bool) {
-	base := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
-	seq, err := strconv.ParseInt(base, 10, 64)
-	return seq, err == nil && seq >= 0
-}
-
-// LatestCheckpoint finds and loads the newest readable snapshot under a
-// durability root. Corrupt or unreadable snapshots are skipped (the previous
-// one still recovers, at the cost of more WAL replay); a root with no usable
-// snapshot returns ("", nil, nil) — recovery then replays the WAL from zero.
+// LatestCheckpoint finds and loads the newest readable checkpoint state
+// under a durability root, materializing delta chains. Corrupt or unreadable
+// states are skipped (the previous one still recovers, at the cost of more
+// WAL replay); a root with no usable snapshot returns ("", nil, nil) —
+// recovery then replays the WAL from zero.
 func LatestCheckpoint(dir string) (string, *snapshot.Checkpoint, error) {
-	names, err := listCheckpoints(CheckpointDir(dir))
+	files, _, err := listCheckpointFiles(CheckpointDir(dir))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return "", nil, nil
 		}
 		return "", nil, err
 	}
-	for _, n := range names {
-		path := filepath.Join(CheckpointDir(dir), n)
-		c, err := snapshot.ReadFile(path)
+	bySeq := indexBySeq(files)
+	for _, f := range files {
+		c, err := materializeCheckpoint(CheckpointDir(dir), bySeq, f, 0)
 		if err != nil {
 			continue
 		}
-		return path, c, nil
+		return filepath.Join(CheckpointDir(dir), f.name), c, nil
 	}
 	return "", nil, nil
 }
@@ -220,6 +352,7 @@ func OpenDurable(sh *core.Shared, cfg Config, d DurableConfig) (*Durable, error)
 		}
 	}
 
+	engCfg := cfg // pre-WAL copy: deep replay builds throwaway engines from it
 	cfg.WAL = log
 	var eng *Engine
 	if ckpt != nil {
@@ -233,6 +366,7 @@ func OpenDurable(sh *core.Shared, cfg Config, d DurableConfig) (*Durable, error)
 
 	dur := &Durable{
 		Eng: eng, Log: log, cfg: d,
+		sh: sh, engCfg: engCfg,
 		recoveredFrom: path, restored: ckpt,
 		lastCkptSeq: -1, lastCkptPath: path,
 		stop: make(chan struct{}),
@@ -294,9 +428,11 @@ func (d *Durable) checkpointLoop() {
 }
 
 // CheckpointNow takes a barrier checkpoint, writes it atomically into the
-// checkpoint directory, prunes old snapshots beyond KeepCheckpoints, and
-// truncates WAL segments older than the oldest snapshot still retained. A
-// watermark that has not advanced since the last checkpoint is a no-op.
+// checkpoint directory — as a v3 delta over the previous checkpoint when
+// DeltaEvery allows it, as a full snapshot otherwise — prunes states beyond
+// KeepCheckpoints, and truncates WAL segments older than the oldest retained
+// base. A watermark that has not advanced since the last checkpoint is a
+// no-op.
 func (d *Durable) CheckpointNow() (string, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -308,18 +444,50 @@ func (d *Durable) CheckpointNow() (string, error) {
 	if c.Seq == d.lastCkptSeq {
 		return d.lastCkptPath, nil
 	}
-	path := filepath.Join(CheckpointDir(d.cfg.Dir), fmt.Sprintf("%s%020d%s", ckptPrefix, c.Seq, ckptSuffix))
-	if err := snapshot.WriteFile(path, c); err != nil {
-		d.lastCkptErr = err
-		return "", err
+	ckptDir := CheckpointDir(d.cfg.Dir)
+	kind := "checkpoint"
+	var path string
+	wroteDelta := false
+	if d.cfg.DeltaEvery > 0 && d.prevCkpt != nil && d.prevCkpt.Seq == d.lastCkptSeq &&
+		d.deltasSince < d.cfg.DeltaEvery {
+		dl, derr := snapshot.ComputeDelta(d.prevCkpt, c)
+		if derr != nil {
+			// Cannot happen between checkpoints of one engine; degrade to a
+			// full snapshot rather than lose the checkpoint.
+			d.cfg.Logf("delta checkpoint %d→%d: %v; writing a full snapshot", d.prevCkpt.Seq, c.Seq, derr)
+		} else {
+			path = filepath.Join(ckptDir, deltaName(c.Seq, d.prevCkpt.Seq))
+			if err := snapshot.WriteDeltaFile(path, dl); err != nil {
+				d.lastCkptErr = err
+				return "", err
+			}
+			wroteDelta = true
+			kind = "delta checkpoint"
+		}
+	}
+	if !wroteDelta {
+		path = filepath.Join(ckptDir, ckptName(c.Seq))
+		if err := snapshot.WriteFile(path, c); err != nil {
+			d.lastCkptErr = err
+			return "", err
+		}
+		d.deltasSince = 0
+	} else {
+		d.deltasSince++
+		d.deltaCount++
+	}
+	// prevCkpt pins the full materialized state in memory as the next
+	// delta's base — only worth the footprint when deltas are enabled.
+	if d.cfg.DeltaEvery > 0 {
+		d.prevCkpt = c
 	}
 	d.lastCkptSeq = c.Seq
 	d.lastCkptPath = path
 	d.lastCkptTime = time.Now()
 	d.lastCkptErr = nil
 	d.ckptCount++
-	d.cfg.Logf("checkpoint %s (watermark %d, %d residents, %d live pairs)",
-		path, c.Seq, len(c.Residents), len(c.Pairs))
+	d.cfg.Logf("%s %s (watermark %d, %d residents, %d live pairs)",
+		kind, path, c.Seq, len(c.Residents), len(c.Pairs))
 	if err := d.prune(c.Seq); err != nil {
 		d.lastCkptErr = err
 		return path, err
@@ -327,38 +495,70 @@ func (d *Durable) CheckpointNow() (string, error) {
 	return path, nil
 }
 
-// prune removes snapshots beyond KeepCheckpoints, then truncates the WAL to
-// the OLDEST snapshot still retained — not the newest: if the newest ever
-// turns out unreadable, LatestCheckpoint falls back to an older one, and
-// that one still needs its WAL suffix for exact recovery.
+// prune removes checkpoint files beyond the newest KeepCheckpoints states —
+// keeping every file a retained delta's base chain still references — then
+// truncates the WAL to the oldest base still needed. Every retained file is
+// a potential fallback recovery state (if the newest ever turns out
+// unreadable, LatestCheckpoint falls back), so the WAL keeps the suffix of
+// the oldest one; that same coverage is what deep replay regenerates
+// historical /results from. Non-checkpoint files in the directory are
+// skipped (logged once), and a failed removal does not abort the rest of the
+// prune or the WAL truncation behind it.
 func (d *Durable) prune(newest int64) error {
-	dir := CheckpointDir(d.cfg.Dir)
-	names, err := listCheckpoints(dir)
+	ckptDir := CheckpointDir(d.cfg.Dir)
+	files, skipped, err := listCheckpointFiles(ckptDir)
 	if err != nil {
 		return err
 	}
-	keep := min(len(names), d.cfg.KeepCheckpoints)
-	for _, n := range names[keep:] {
-		if err := os.Remove(filepath.Join(dir, n)); err != nil {
-			return err
-		}
+	if len(skipped) > 0 && !d.junkWarned {
+		d.junkWarned = true
+		d.cfg.Logf("checkpoint dir: ignoring %d non-checkpoint entrie(s) (e.g. %s)", len(skipped), skipped[0])
 	}
-	d.snapshots = keep
+	bySeq := indexBySeq(files)
+	need := make(map[string]bool)
 	oldest := newest
-	if keep > 0 {
-		if seq, ok := ckptSeqFromName(names[keep-1]); ok {
-			oldest = seq
+	var mark func(f ckptFile, depth int)
+	mark = func(f ckptFile, depth int) {
+		if depth > maxChainDepth || need[f.name] {
+			return
+		}
+		need[f.name] = true
+		if f.seq < oldest {
+			oldest = f.seq
+		}
+		if f.base >= 0 {
+			if bf, ok := bySeq[f.base]; ok && bf.seq < f.seq {
+				mark(bf, depth+1)
+			} else {
+				d.cfg.Logf("checkpoint %s: base at seq %d missing, chain unrecoverable", f.name, f.base)
+			}
 		}
 	}
-	return d.Log.TruncateBefore(oldest)
+	for i := 0; i < len(files) && i < d.cfg.KeepCheckpoints; i++ {
+		mark(files[i], 0)
+	}
+	var errs []error
+	for _, f := range files {
+		if need[f.name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(ckptDir, f.name)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.snapshots = len(need)
+	if err := d.Log.TruncateBefore(oldest); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 func (d *Durable) countSnapshots() int {
-	names, err := listCheckpoints(CheckpointDir(d.cfg.Dir))
+	files, _, err := listCheckpointFiles(CheckpointDir(d.cfg.Dir))
 	if err != nil {
 		return 0
 	}
-	return len(names)
+	return len(files)
 }
 
 // Stats reports WAL and checkpointer health for /stats.
@@ -367,12 +567,18 @@ func (d *Durable) Stats() DurabilityStats {
 		WAL:           d.Log.Stats(),
 		RecoveredFrom: d.recoveredFrom,
 		Replayed:      d.replayed,
+		DeepReplays:   d.deepReplays.Load(),
+		ReplayReach:   -1,
+	}
+	if reach, ok := d.DeepReach(); ok {
+		st.ReplayReach = reach
 	}
 	if lag := st.WAL.DurableSeq - d.Eng.Completed(); lag > 0 {
 		st.ReplayLag = lag
 	}
 	d.ckptMu.Lock()
 	st.Checkpoints = d.ckptCount
+	st.DeltaCheckpoints = d.deltaCount
 	st.SnapshotsRetained = d.snapshots
 	st.LastCheckpointSeq = d.lastCkptSeq
 	st.LastCheckpointPath = d.lastCkptPath

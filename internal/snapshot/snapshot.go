@@ -35,11 +35,17 @@ import (
 // Magic identifies a TER-iDS checkpoint file.
 const Magic = "TERIDSCP"
 
-// Version is the current format version. Version 2 appends the shard layout
-// slot table (adaptive rebalancing); Decode still reads version-1 files,
-// which simply carry no layout (SlotTable nil — restore derives the default
-// modulo layout).
+// Version is the current full-checkpoint format version. Version 2 appends
+// the shard layout slot table (adaptive rebalancing); Decode still reads
+// version-1 files, which simply carry no layout (SlotTable nil — restore
+// derives the default modulo layout).
 const Version = 2
+
+// DeltaVersion is the format version of incremental (delta) checkpoints: a
+// diff over a base checkpoint's residents and entity set, keyed by merge
+// sequence (see delta.go). Delta files share the magic and envelope with
+// full checkpoints; the version field distinguishes the payloads.
+const DeltaVersion = 3
 
 // maxSection bounds every decoded collection length, so a corrupted or
 // hostile length prefix cannot drive allocation before the data runs out.
@@ -273,16 +279,21 @@ func Encode(w io.Writer, c *Checkpoint) error {
 		p.uvarint(uint64(sh))
 	}
 
-	payload := p.buf.Bytes()
-	// Mirror Decode's limit: an oversized checkpoint that encodes fine but
-	// can never be read back is silent data loss discovered at restore time.
+	return writeEnvelope(w, Version, p.buf.Bytes())
+}
+
+// writeEnvelope frames one payload: magic, version, length, payload, crc.
+func writeEnvelope(w io.Writer, version uint16, payload []byte) error {
+	// Mirror readEnvelope's limit: an oversized checkpoint that encodes fine
+	// but can never be read back is silent data loss discovered at restore
+	// time.
 	if len(payload) > maxSection {
 		return fmt.Errorf("snapshot: payload %d bytes exceeds the format limit %d", len(payload), maxSection)
 	}
 	var hdr bytes.Buffer
 	hdr.WriteString(Magic)
 	var u16 [2]byte
-	binary.LittleEndian.PutUint16(u16[:], Version)
+	binary.LittleEndian.PutUint16(u16[:], version)
 	hdr.Write(u16[:])
 	var u64 [8]byte
 	binary.LittleEndian.PutUint64(u64[:], uint64(len(payload)))
@@ -370,41 +381,59 @@ func (r *reader) float() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
 }
 
-// Decode reads one checkpoint, verifying magic, version, and checksum before
-// parsing, and structural invariants after.
-func Decode(src io.Reader) (*Checkpoint, error) {
+// readEnvelope reads and verifies one file envelope (magic, version,
+// length, checksum) and returns the version plus the raw payload.
+func readEnvelope(src io.Reader) (uint16, []byte, error) {
 	br := bufio.NewReader(src)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+		return 0, nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
 	if string(magic) != Magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q (not a TER-iDS checkpoint)", magic)
+		return 0, nil, fmt.Errorf("snapshot: bad magic %q (not a TER-iDS checkpoint)", magic)
 	}
 	var fixed [10]byte
 	if _, err := io.ReadFull(br, fixed[:]); err != nil {
-		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+		return 0, nil, fmt.Errorf("snapshot: reading header: %w", err)
 	}
 	ver := binary.LittleEndian.Uint16(fixed[0:2])
-	if ver < 1 || ver > Version {
-		return nil, fmt.Errorf("snapshot: format version %d, this build reads 1..%d", ver, Version)
+	if ver < 1 || ver > DeltaVersion {
+		return 0, nil, fmt.Errorf("snapshot: format version %d, this build reads 1..%d", ver, DeltaVersion)
 	}
 	size := binary.LittleEndian.Uint64(fixed[2:10])
 	if size > maxSection {
-		return nil, fmt.Errorf("snapshot: implausible payload size %d", size)
+		return 0, nil, fmt.Errorf("snapshot: implausible payload size %d", size)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, fmt.Errorf("snapshot: truncated payload: %w", err)
+		return 0, nil, fmt.Errorf("snapshot: truncated payload: %w", err)
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
-		return nil, fmt.Errorf("snapshot: reading checksum: %w", err)
+		return 0, nil, fmt.Errorf("snapshot: reading checksum: %w", err)
 	}
 	if want, got := binary.LittleEndian.Uint32(sum[:]), crc32.ChecksumIEEE(payload); want != got {
-		return nil, fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): corrupt checkpoint", want, got)
+		return 0, nil, fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): corrupt checkpoint", want, got)
 	}
+	return ver, payload, nil
+}
 
+// Decode reads one full checkpoint, verifying magic, version, and checksum
+// before parsing, and structural invariants after. A delta file (version 3)
+// is rejected — it cannot stand alone; use DecodeAny or DecodeDelta.
+func Decode(src io.Reader) (*Checkpoint, error) {
+	ver, payload, err := readEnvelope(src)
+	if err != nil {
+		return nil, err
+	}
+	if ver == DeltaVersion {
+		return nil, fmt.Errorf("snapshot: version-%d file is a delta checkpoint, not a standalone snapshot", ver)
+	}
+	return decodeCheckpointPayload(ver, payload)
+}
+
+// decodeCheckpointPayload parses a full-checkpoint payload (versions 1..2).
+func decodeCheckpointPayload(ver uint16, payload []byte) (*Checkpoint, error) {
 	r := &reader{b: bytes.NewReader(payload)}
 	c := &Checkpoint{
 		Seq:        r.varint(),
@@ -497,13 +526,18 @@ func Decode(src io.Reader) (*Checkpoint, error) {
 // WriteFile atomically writes the checkpoint to path (temp file + rename, so
 // a crash mid-write never clobbers a previous good checkpoint).
 func WriteFile(path string, c *Checkpoint) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return Encode(w, c) })
+}
+
+// writeFileAtomic writes enc's output to path via temp file + rename.
+func writeFileAtomic(path string, enc func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".terids-ckpt-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if err := Encode(f, c); err != nil {
+	if err := enc(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
