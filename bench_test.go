@@ -12,10 +12,13 @@ import (
 	"sync"
 	"testing"
 
+	"time"
+
 	"terids/internal/core"
 	"terids/internal/dataset"
 	"terids/internal/engine"
 	"terids/internal/experiments"
+	"terids/internal/obs"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
 	"terids/internal/wal"
@@ -551,4 +554,47 @@ func BenchmarkEngineShards(b *testing.B) {
 			b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
 		})
 	}
+}
+
+// BenchmarkInstrumentedSubmit quantifies the observability tax: the same
+// stream runs once through an instrumented engine (ns/op, tuples/s — the
+// timed measurement) and once with Config.ObsOff, and the per-arrival
+// difference is reported as obs_overhead_ns. CI publishes it into
+// BENCH_engine.json so the cost of each new instrument is tracked
+// PR-over-PR; noise can drive small values slightly negative.
+func BenchmarkInstrumentedSubmit(b *testing.B) {
+	f := loadEngineFixture(b)
+	run := func(b *testing.B, cfg engine.Config) {
+		eng, err := engine.New(f.sh, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.stream {
+			if err := eng.Submit(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A private registry per iteration: the default-instrumented path,
+		// without cross-benchmark accumulation in obs.Default().
+		run(b, engine.Config{Core: f.cfg, Shards: 4, Obs: obs.NewRegistry()})
+	}
+	b.StopTimer()
+	instrumented := b.Elapsed()
+
+	baselineStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		run(b, engine.Config{Core: f.cfg, Shards: 4, ObsOff: true})
+	}
+	baseline := time.Since(baselineStart)
+
+	arrivals := float64(b.N * len(f.stream))
+	b.ReportMetric(float64(instrumented-baseline)/arrivals, "obs_overhead_ns")
+	b.ReportMetric(arrivals/instrumented.Seconds(), "tuples/s")
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// debugMux builds the -debug-addr handler: net/http/pprof, expvar, and the
+// metrics exposition, registered explicitly on a private mux (importing
+// net/http/pprof for its side effect would put the profiler on the public
+// serving mux via http.DefaultServeMux — exactly what a separate debug
+// listener exists to avoid).
+func debugMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}

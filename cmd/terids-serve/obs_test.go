@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"terids/internal/engine"
+)
+
+// startObsServer is startServer with trace sampling enabled and a shutdown
+// func tests can call early (cleanup tolerates both orders).
+func startObsServer(t *testing.T, f serveFixture, shards, traceSample int) (*server, *httptest.Server, func()) {
+	t.Helper()
+	srv := newServer(f.sh.Schema, 256, 0, t.TempDir())
+	srv.streams = f.cfg.Streams
+	eng, err := engine.New(f.sh, engine.Config{
+		Core:        f.cfg,
+		Shards:      shards,
+		OnResult:    srv.onResult,
+		TraceSample: traceSample,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.eng = eng
+	ts := httptest.NewServer(srv.routes())
+	var once sync.Once
+	shut := func() { once.Do(func() { close(srv.done) }) }
+	t.Cleanup(func() {
+		shut()
+		ts.Close()
+		_ = eng.Close()
+	})
+	return srv, ts, shut
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+// TestServeMetricsEndpoint drives traffic through the full pipeline and
+// checks /metrics is valid text exposition covering every stage, with
+// read-time quantiles per latency family.
+func TestServeMetricsEndpoint(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts, _ := startObsServer(t, f, 2, 4)
+	ingest(t, ts, f.stream[:80])
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+	// Every pipeline stage must be represented, each latency family with its
+	// read-time quantile series.
+	for _, want := range []string{
+		"terids_arrivals_total ",
+		"terids_impute_queue_wait_seconds_count ",
+		"terids_impute_seconds_count ",
+		"terids_route_seconds_count ",
+		"terids_merge_hold_seconds_count ",
+		"terids_merge_pending ",
+		`terids_shard_resolve_seconds_count{shard="0"}`,
+		`terids_shard_resolve_seconds_count{shard="1"}`,
+		`terids_impute_seconds_q{q="0.50"}`,
+		`terids_route_seconds_q{q="0.95"}`,
+		`terids_merge_hold_seconds_q{q="0.99"}`,
+		"terids_traces_sampled_total ",
+		"terids_uptime_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeTraceEndpoint: with -trace-sample 1, every arrival's timeline is
+// retained and served as one NDJSON object per line.
+func TestServeTraceEndpoint(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts, _ := startObsServer(t, f, 2, 1)
+	ingest(t, ts, f.stream[:40])
+
+	resp, body := get(t, ts.URL+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 40 {
+		t.Fatalf("/trace returned %d lines, want 40", len(lines))
+	}
+	for i, line := range lines {
+		var tr map[string]any
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			t.Fatalf("trace line %d not JSON: %v\n%s", i, err, line)
+		}
+		if int64(tr["seq"].(float64)) != int64(i) {
+			t.Fatalf("trace line %d has seq %v (oldest-first order broken)", i, tr["seq"])
+		}
+		for _, key := range []string{"rid", "impute_queue_wait_ns", "impute_ns", "route_ns", "merge_hold_ns", "total_ns", "pairs"} {
+			if _, ok := tr[key]; !ok {
+				t.Fatalf("trace line %d missing %q: %s", i, key, line)
+			}
+		}
+		if tr["total_ns"].(float64) <= 0 {
+			t.Fatalf("trace line %d has non-positive total_ns: %s", i, line)
+		}
+	}
+}
+
+// TestServeHealthReadiness walks the lifecycle: readiness gates on startup
+// completing, both probes flip to 503 on shutdown.
+func TestServeHealthReadiness(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts, shut := startObsServer(t, f, 1, 0)
+
+	if resp, body := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz before ready: %d %q, want 200 ok", resp.StatusCode, body)
+	}
+	// Readiness is withheld until main finishes recovery and flips the bit —
+	// liveness is not.
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready: %d, want 503", resp.StatusCode)
+	}
+	srv.ready.Store(true)
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz after ready: %d %q, want 200 ready", resp.StatusCode, body)
+	}
+	srv.ready.Store(false)
+	shut()
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeStatsSchemaStable: /stats carries uptime and a zero-valued
+// replay.deep_replays even without -wal-dir, so scrapers see one schema
+// regardless of deployment mode.
+func TestServeStatsSchemaStable(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts, _ := startObsServer(t, f, 1, 0)
+	ingest(t, ts, f.stream[:10])
+
+	stats := getStats(t, ts)
+	up, ok := stats["uptime_seconds"].(float64)
+	if !ok || up <= 0 {
+		t.Fatalf("uptime_seconds = %v, want > 0", stats["uptime_seconds"])
+	}
+	replay, ok := stats["replay"].(map[string]any)
+	if !ok {
+		t.Fatalf("replay section missing: %v", stats)
+	}
+	dr, ok := replay["deep_replays"].(float64)
+	if !ok || dr != 0 {
+		t.Fatalf("replay.deep_replays = %v, want 0 without -wal-dir", replay["deep_replays"])
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"terids/internal/cliutil"
 	"terids/internal/engine"
+	"terids/internal/obs"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
 )
@@ -56,6 +57,13 @@ type server struct {
 	// multiplying that cost.
 	deepSem chan struct{}
 
+	// reg is the metrics registry /metrics renders; started feeds
+	// uptime_seconds; ready flips once the engine is attached and serving
+	// (readyz) and back off at shutdown.
+	reg     *obs.Registry
+	started time.Time
+	ready   atomic.Bool
+
 	mu          sync.Mutex
 	subs        map[chan engine.Result]struct{}
 	dropped     atomic.Int64
@@ -66,13 +74,18 @@ type server struct {
 // newServer builds the server shell; the engine is attached afterwards
 // (its OnResult must point at s.onResult, which needs s to exist first).
 func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string) *server {
-	return &server{
+	s := &server{
 		schema:  schema,
 		ring:    newResultRing(ringCap, ringBase),
 		ckptDir: ckptDir,
 		done:    make(chan struct{}),
 		deepSem: make(chan struct{}, 1),
+		reg:     obs.Default(),
+		started: time.Now(),
 	}
+	s.reg.GaugeFunc("terids_uptime_seconds", "Seconds since this process started serving.", nil,
+		func() float64 { return time.Since(s.started).Seconds() })
+	return s
 }
 
 // routes registers every endpoint.
@@ -83,11 +96,68 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /rebalance", s.handleRebalance)
-	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.WriteHeader(http.StatusOK)
-		fmt.Fprintln(rw, "ok")
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleMetrics serves the process-wide registry in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(rw)
+}
+
+// handleTrace serves the sampled arrival timelines (oldest first) as NDJSON.
+// Empty unless the server runs with -trace-sample.
+func (s *server) handleTrace(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(rw)
+	for _, tr := range s.eng.Traces() {
+		if err := enc.Encode(tr); err != nil {
+			return
+		}
+	}
+}
+
+// handleHealthz reports process liveness: 200 while the pipeline is intact,
+// 503 once it has failed or the server is shutting down.
+func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.done:
+		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+	if err := s.eng.Err(); err != nil {
+		http.Error(rw, fmt.Sprintf("pipeline failed: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
+	fmt.Fprintln(rw, "ok")
+}
+
+// handleReadyz reports readiness to take traffic: recovery replay finished,
+// engine attached and healthy, not shutting down.
+func (s *server) handleReadyz(rw http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.done:
+		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+	if !s.ready.Load() {
+		http.Error(rw, "starting up", http.StatusServiceUnavailable)
+		return
+	}
+	if err := s.eng.Err(); err != nil {
+		http.Error(rw, fmt.Sprintf("pipeline failed: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
+	fmt.Fprintln(rw, "ready")
 }
 
 // arrival is one /ingest NDJSON line.
@@ -198,6 +268,9 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 		}
 		if ok, wait := s.limiter.allow(a.Stream); !ok {
 			s.rateLimited.Add(1)
+			s.reg.Counter("terids_ingest_throttled_total",
+				"Ingest requests rejected by the per-stream rate limit.",
+				obs.Labels{"stream": strconv.Itoa(a.Stream)}).Inc()
 			rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
 			reply(http.StatusTooManyRequests, fmt.Sprintf("line %d: stream %d over the ingest rate limit", lineNo, a.Stream))
 			return
@@ -585,6 +658,9 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		"ring_oldest":     oldest,
 		"next_seq":        next,
 		"retained":        retained,
+		// Always present so scrapers get a stable schema; non-zero only with
+		// -wal-dir, which deep replay requires.
+		"deep_replays": int64(0),
 	}
 	if s.dur != nil {
 		replayStats["deep_replays"] = s.dur.Stats().DeepReplays
@@ -608,6 +684,7 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		"subscribers":     nSubs,
 		"dropped_results": s.dropped.Load(),
 		"rate_limited":    s.rateLimited.Load(),
+		"uptime_seconds":  time.Since(s.started).Seconds(),
 	}
 	if s.dur != nil {
 		payload["durability"] = s.dur.Stats()

@@ -716,6 +716,17 @@ func TestServeCrashRestartRingRebuild(t *testing.T) {
 	if cont[0].Seq != 98 || cont[11].Seq != 109 {
 		t.Fatalf("spanning read covers [%d,%d], want [98,109]", cont[0].Seq, cont[11].Seq)
 	}
+	// The recovered server also exposes metrics: recovery + live traffic left
+	// samples in the WAL and stage families.
+	mresp, mbody := get(t, ts2.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK || mbody == "" {
+		t.Fatalf("/metrics after crash recovery: status %d, %d bytes", mresp.StatusCode, len(mbody))
+	}
+	for _, want := range []string{"terids_arrivals_total", "terids_wal_commit_seconds_count"} {
+		if !strings.Contains(mbody, want) {
+			t.Fatalf("post-recovery /metrics missing %s", want)
+		}
+	}
 }
 
 // TestServeDeepReplayDepthAndPrunedCoverage pins down when 410 is still the

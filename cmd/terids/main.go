@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"terids/internal/dataset"
 	"terids/internal/engine"
 	"terids/internal/metrics"
+	"terids/internal/obs"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
 )
@@ -66,6 +68,7 @@ func main() {
 		walDir    = flag.String("wal", "", "write-ahead log directory: crash-safe run, reruns auto-resume (mutually exclusive with -restore)")
 		ckptEvery = flag.Duration("checkpoint-interval", 0,
 			"periodic background checkpoints under -wal (0 = only the final one; requires -wal)")
+		debugAddr = flag.String("debug-addr", "", "listener for net/http/pprof, expvar, and /metrics while the run executes (empty = disabled)")
 	)
 	flag.Parse()
 	if err := (cliutil.Params{
@@ -88,6 +91,22 @@ func main() {
 	})
 	if err := (cliutil.Rebalance{AutoShards: *autoSh, ShardsSet: shardsSet}).Validate(); err != nil {
 		log.Fatal(err)
+	}
+	if err := (cliutil.Obs{DebugAddr: *debugAddr}).Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.Default().WritePrometheus(rw)
+		})
+		registerPprof(mux)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	prof, err := dataset.ProfileByName(*name)
@@ -268,6 +287,7 @@ func main() {
 			fmt.Print(ss.Residents)
 		}
 		fmt.Printf(" (imbalance %.2f)\n", st.Imbalance)
+		printStageLatencies()
 		if *autoSh {
 			fmt.Printf("rebalancer: %d rebalances (%d automatic, %d skipped)\n",
 				st.Rebalance.Rebalances, st.Rebalance.AutoRebalances, st.Rebalance.Skipped)

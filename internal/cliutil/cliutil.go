@@ -174,6 +174,33 @@ func (d Durability) Validate() error {
 	return errors.Join(errs...)
 }
 
+// Obs are the observability flags shared by the terids CLIs: the sampled
+// arrival-trace rate and the debug (pprof/expvar) listener address.
+type Obs struct {
+	// TraceSample is -trace-sample: record every Nth arrival's full stage
+	// timeline, ≥ 0 (0 disables tracing).
+	TraceSample int
+	// DebugAddr is -debug-addr: the separate pprof/expvar listener address.
+	// Empty disables it.
+	DebugAddr string
+	// Addr is the main serving address (commands without a serving listener
+	// pass ""); the debug listener must not collide with it.
+	Addr string
+}
+
+// Validate checks the observability flag combinations, joining all
+// violations into one error.
+func (o Obs) Validate() error {
+	var errs []error
+	if o.TraceSample < 0 {
+		errs = append(errs, fmt.Errorf("-trace-sample %d, need >= 0 (0 = disabled)", o.TraceSample))
+	}
+	if o.DebugAddr != "" && o.Addr != "" && o.DebugAddr == o.Addr {
+		errs = append(errs, fmt.Errorf("-debug-addr %s collides with the serving address: the debug listener must be separate", o.DebugAddr))
+	}
+	return errors.Join(errs...)
+}
+
 // Replay are the /results replay flags of terids-serve. The ring capacity is
 // load-bearing: a non-positive -replay-buffer would divide by zero in the
 // ring's seq%capacity indexing, so it is rejected here at startup.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"terids/internal/core"
 	"terids/internal/snapshot"
@@ -130,6 +131,11 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 	cfg := d.engCfg
 	cfg.WAL = nil
 	cfg.Rebalance = RebalanceConfig{}
+	// The throwaway engine regenerates history; letting it publish stage
+	// metrics or traces would pollute the live distributions.
+	cfg.ObsOff = true
+	cfg.TraceSample = 0
+	replayStart := time.Now()
 	var stop atomic.Bool
 	cfg.OnResult = func(res Result) {
 		if stop.Load() || res.Seq < from {
@@ -191,5 +197,8 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		return err
 	}
 	d.deepReplays.Add(1)
+	if m := d.met; m != nil {
+		m.deepReplay.ObserveSince(replayStart)
+	}
 	return nil
 }

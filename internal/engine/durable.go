@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"terids/internal/core"
+	"terids/internal/obs"
 	"terids/internal/snapshot"
 	"terids/internal/wal"
 )
@@ -176,9 +177,39 @@ type Durable struct {
 
 	deepReplays atomic.Int64
 
+	// met is nil when the engine config disables instrumentation.
+	met *durableMetrics
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// durableMetrics are the checkpointer's and deep replay's instruments.
+type durableMetrics struct {
+	capture    *obs.Histogram
+	writeFull  *obs.Histogram
+	writeDelta *obs.Histogram
+	bytesFull  *obs.Histogram
+	bytesDelta *obs.Histogram
+	deepReplay *obs.Histogram
+}
+
+func newDurableMetrics(reg *obs.Registry) *durableMetrics {
+	const (
+		writeHelp = "Checkpoint persist latency: encode, write, fsync, atomic rename (kind = full snapshot or delta)."
+		bytesHelp = "On-disk size of each written checkpoint file (kind = full snapshot or delta)."
+	)
+	return &durableMetrics{
+		capture: reg.Histogram("terids_checkpoint_capture_seconds",
+			"Barrier checkpoint capture: pipeline drain to the watermark plus in-memory state copy.", nil),
+		writeFull:  reg.Histogram("terids_checkpoint_write_seconds", writeHelp, obs.Labels{"kind": "full"}),
+		writeDelta: reg.Histogram("terids_checkpoint_write_seconds", writeHelp, obs.Labels{"kind": "delta"}),
+		bytesFull:  reg.SizeHistogram("terids_checkpoint_bytes", bytesHelp, obs.Labels{"kind": "full"}),
+		bytesDelta: reg.SizeHistogram("terids_checkpoint_bytes", bytesHelp, obs.Labels{"kind": "delta"}),
+		deepReplay: reg.Histogram("terids_deep_replay_seconds",
+			"Deep-replay regeneration: restore the best base checkpoint and re-run the WAL range through a throwaway engine.", nil),
+	}
 }
 
 // DurabilityStats is the /stats health block for the durability subsystem.
@@ -371,6 +402,13 @@ func OpenDurable(sh *core.Shared, cfg Config, d DurableConfig) (*Durable, error)
 		lastCkptSeq: -1, lastCkptPath: path,
 		stop: make(chan struct{}),
 	}
+	if !cfg.ObsOff {
+		reg := cfg.Obs
+		if reg == nil {
+			reg = obs.Default()
+		}
+		dur.met = newDurableMetrics(reg)
+	}
 	if ckpt != nil {
 		dur.lastCkptSeq = ckpt.Seq
 	}
@@ -436,10 +474,14 @@ func (d *Durable) checkpointLoop() {
 func (d *Durable) CheckpointNow() (string, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	captureStart := time.Now()
 	c, err := d.Eng.Checkpoint()
 	if err != nil {
 		d.lastCkptErr = err
 		return "", err
+	}
+	if m := d.met; m != nil {
+		m.capture.ObserveSince(captureStart)
 	}
 	if c.Seq == d.lastCkptSeq {
 		return d.lastCkptPath, nil
@@ -448,6 +490,9 @@ func (d *Durable) CheckpointNow() (string, error) {
 	kind := "checkpoint"
 	var path string
 	wroteDelta := false
+	// writeStart covers the whole persist: delta computation (the encode
+	// cost deltas exist to amortize), file write, fsync, rename.
+	writeStart := time.Now()
 	if d.cfg.DeltaEvery > 0 && d.prevCkpt != nil && d.prevCkpt.Seq == d.lastCkptSeq &&
 		d.deltasSince < d.cfg.DeltaEvery {
 		dl, derr := snapshot.ComputeDelta(d.prevCkpt, c)
@@ -475,6 +520,16 @@ func (d *Durable) CheckpointNow() (string, error) {
 	} else {
 		d.deltasSince++
 		d.deltaCount++
+	}
+	if m := d.met; m != nil {
+		wh, bh := m.writeFull, m.bytesFull
+		if wroteDelta {
+			wh, bh = m.writeDelta, m.bytesDelta
+		}
+		wh.ObserveSince(writeStart)
+		if fi, serr := os.Stat(path); serr == nil {
+			bh.Observe(fi.Size())
+		}
 	}
 	// prevCkpt pins the full materialized state in memory as the next
 	// delta's base — only worth the footprint when deltas are enabled.

@@ -39,9 +39,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"terids/internal/core"
 	"terids/internal/metrics"
+	"terids/internal/obs"
 	"terids/internal/prune"
 	"terids/internal/stream"
 	"terids/internal/tuple"
@@ -87,6 +89,15 @@ type Config struct {
 	// Rebalance configures the adaptive skew monitor (see rebalance.go).
 	// The zero value disables it; manual Rebalance calls work regardless.
 	Rebalance RebalanceConfig
+	// Obs selects the registry the engine publishes its stage metrics into.
+	// Nil means obs.Default(), the process-wide registry /metrics serves.
+	Obs *obs.Registry
+	// ObsOff disables all metric and trace instrumentation (used by
+	// deep-replay throwaway engines and overhead benchmarks).
+	ObsOff bool
+	// TraceSample, when > 0, records every Nth arrival's full stage timeline
+	// into a bounded ring readable via Traces() (served at GET /trace).
+	TraceSample int
 }
 
 func (c *Config) fill() {
@@ -127,6 +138,12 @@ type item struct {
 	seq  int64
 	rec  *tuple.Record
 	prof *profileOut
+	// enq is when the arrival entered the ingest queue (set only when
+	// instrumentation is on; on the durable path, after the group commit so
+	// queue wait excludes the WAL wait).
+	enq time.Time
+	// tr is the arrival's sampled trace, nil for unsampled arrivals.
+	tr *Trace
 }
 
 // profileOut is the impute stage's product.
@@ -148,6 +165,11 @@ type header struct {
 	// skip marks a rejected duplicate: the merger expects no shard
 	// partials for this sequence number.
 	skip bool
+	// tr carries the arrival's sampled trace to the merger, which completes
+	// and retains it. The router writes all trace fields (and allocates
+	// ShardNs) before sending the header, so this send is the merger's
+	// happens-before edge for reading them.
+	tr *Trace
 }
 
 // Engine is the sharded concurrent TER-iDS executor. Submit goroutines,
@@ -209,6 +231,12 @@ type Engine struct {
 	monitorStop chan struct{}
 	monitorWG   sync.WaitGroup
 
+	// met is nil when Config.ObsOff is set — every stage guards its
+	// instrumentation with one pointer check. traces is nil unless
+	// Config.TraceSample > 0 (and instrumentation is on).
+	met    *engineMetrics
+	traces *obs.Ring[Trace]
+
 	failOnce sync.Once
 	failErr  error
 	failMu   sync.Mutex
@@ -258,6 +286,16 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 	}
 	e.drained = sync.NewCond(&e.resultsMu)
 	e.ctx, e.cancel = context.WithCancel(context.Background())
+	if !cfg.ObsOff {
+		reg := cfg.Obs
+		if reg == nil {
+			reg = obs.Default()
+		}
+		e.met = newEngineMetrics(reg)
+		if cfg.TraceSample > 0 {
+			e.traces = obs.NewRing[Trace](traceRingCap)
+		}
+	}
 
 	cc := cfg.Core
 	if cc.TimeSpan > 0 {
@@ -368,6 +406,13 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 		return err
 	}
 	it := &item{seq: e.seq.Load(), rec: r}
+	if m := e.met; m != nil {
+		it.enq = time.Now()
+		if e.traces != nil && it.seq%int64(e.cfg.TraceSample) == 0 {
+			it.tr = &Trace{Seq: it.seq, RID: r.RID, Stream: r.Stream, start: it.enq}
+			m.traceSampled.Inc()
+		}
+	}
 	if e.cfg.WAL == nil {
 		defer e.subMu.Unlock()
 		if wait {
@@ -387,6 +432,9 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 			}
 		}
 		e.seq.Add(1)
+		if m := e.met; m != nil {
+			m.arrivals.Inc()
+		}
 		return nil
 	}
 	// Durable path: once the slot is reserved the arrival is committed to
@@ -406,6 +454,9 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 	}
 	e.seq.Add(1)
 	e.inflight.Add(1)
+	if m := e.met; m != nil {
+		m.arrivals.Inc()
+	}
 	e.subMu.Unlock()
 	defer e.inflight.Done()
 	// Wait for the group commit outside the submission lock, so concurrent
@@ -414,6 +465,17 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 		err = fmt.Errorf("engine: wal append: %w", err)
 		e.fail(err)
 		return err
+	}
+	if m := e.met; m != nil {
+		now := time.Now()
+		walWait := now.Sub(it.enq)
+		m.walWait.Observe(int64(walWait))
+		if it.tr != nil {
+			it.tr.WALWaitNs = int64(walWait)
+		}
+		// Restart the queue-wait clock: the time spent in the group commit is
+		// WAL wait, not ingest-queue wait.
+		it.enq = now
 	}
 	select {
 	case e.imputeIn <- it:
@@ -476,6 +538,16 @@ func (e *Engine) Close() error {
 func (e *Engine) imputeWorker() {
 	defer e.imputeWG.Done()
 	for it := range e.imputeIn {
+		m := e.met
+		var stageStart time.Time
+		if m != nil {
+			stageStart = time.Now()
+			qw := stageStart.Sub(it.enq)
+			m.imputeWait.Observe(int64(qw))
+			if it.tr != nil {
+				it.tr.QueueWaitNs = int64(qw)
+			}
+		}
 		im, bd := e.step.Impute(it.rec)
 		var sw metrics.Stopwatch
 		sw.Start()
@@ -485,6 +557,13 @@ func (e *Engine) imputeWorker() {
 		bd.ER += sw.Lap() // profile construction is ER-phase cost in core
 		e.acc.AddBreakdown(bd)
 		it.prof = out
+		if m != nil {
+			d := time.Since(stageStart)
+			m.imputeTime.Observe(int64(d))
+			if it.tr != nil {
+				it.tr.ImputeNs = int64(d)
+			}
+		}
 		select {
 		case e.imputedOut <- it:
 		case <-e.ctx.Done():
@@ -525,10 +604,29 @@ func (e *Engine) router() {
 
 // route processes one in-order arrival: expiry, then one command per shard.
 // Duplicate live RIDs are rejected before touching window or grid state.
+// The per-shard commands go out before the header: the router finishes
+// writing the arrival's trace fields only after the fan-out, and the header
+// send is the merger's happens-before edge for reading them.
 func (e *Engine) route(it *item) bool {
+	m := e.met
+	var routeStart time.Time
+	if m != nil {
+		routeStart = time.Now()
+	}
 	if _, dup := e.live[it.rec.RID]; dup {
+		hdr := header{seq: it.seq, rid: it.rec.RID, skip: true}
+		if m != nil {
+			d := time.Since(routeStart)
+			m.routeTime.Observe(int64(d))
+			if tr := it.tr; tr != nil {
+				tr.Rejected = true
+				tr.Slot = -1
+				tr.RouteNs = int64(d)
+				hdr.tr = tr
+			}
+		}
 		select {
-		case e.hdrCh <- header{seq: it.seq, rid: it.rec.RID, skip: true}:
+		case e.hdrCh <- hdr:
 			return true
 		case <-e.ctx.Done():
 			return false
@@ -551,13 +649,15 @@ func (e *Engine) route(it *item) bool {
 	if it.prof.slot >= 0 {
 		e.slotWeight[it.prof.slot].Add(1)
 	}
-	hdr := header{seq: it.seq, rid: it.rec.RID, expired: rids}
-	select {
-	case e.hdrCh <- hdr:
-	case <-e.ctx.Done():
-		return false
-	}
 	homes := it.prof.homes
+	tr := it.tr
+	if tr != nil {
+		tr.Slot = it.prof.slot
+		tr.Homes = homes
+		// Allocated before the fan-out: each shard writes only its own index
+		// (ordered by its partial send), the merger reads after all partials.
+		tr.ShardNs = make([]int64, len(e.shardCh))
+	}
 	for i, ch := range e.shardCh {
 		cmd := shardCmd{it: it, removes: rids}
 		for _, h := range homes {
@@ -571,6 +671,20 @@ func (e *Engine) route(it *item) bool {
 		case <-e.ctx.Done():
 			return false
 		}
+	}
+	hdr := header{seq: it.seq, rid: it.rec.RID, expired: rids}
+	if m != nil {
+		d := time.Since(routeStart)
+		m.routeTime.Observe(int64(d))
+		if tr != nil {
+			tr.RouteNs = int64(d)
+			hdr.tr = tr
+		}
+	}
+	select {
+	case e.hdrCh <- hdr:
+	case <-e.ctx.Done():
+		return false
 	}
 	return true
 }

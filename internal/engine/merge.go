@@ -3,6 +3,7 @@ package engine
 import (
 	"cmp"
 	"slices"
+	"time"
 
 	"terids/internal/core"
 	"terids/internal/metrics"
@@ -44,6 +45,9 @@ type pending struct {
 	hdr   *header
 	pairs []shardPair
 	got   int
+	// arrived is when the first piece for this sequence reached the merger
+	// (zero when instrumentation is off) — the reorder-buffer hold clock.
+	arrived time.Time
 }
 
 // merger joins the K partial result slices per arrival, restores submission
@@ -66,6 +70,9 @@ func (e *Engine) merger() {
 		p, ok := pend[seq]
 		if !ok {
 			p = &pending{}
+			if e.met != nil {
+				p.arrived = time.Now()
+			}
 			pend[seq] = p
 		}
 		return p
@@ -101,6 +108,9 @@ func (e *Engine) merger() {
 			e.finalize(p)
 			next++
 		}
+		if m := e.met; m != nil {
+			m.mergePending.Set(float64(len(pend)))
+		}
 	}
 }
 
@@ -114,6 +124,11 @@ func (e *Engine) finalize(p *pending) {
 		e.rejected++
 		e.drained.Broadcast()
 		e.resultsMu.Unlock()
+		if m := e.met; m != nil {
+			m.rejected.Inc()
+			m.mergeHold.ObserveSince(p.arrived)
+		}
+		e.completeTrace(p, 0)
 		if e.cfg.OnResult != nil {
 			e.cfg.OnResult(Result{Seq: p.hdr.seq, RID: p.hdr.rid, Rejected: true})
 		}
@@ -142,7 +157,25 @@ func (e *Engine) finalize(p *pending) {
 	e.drained.Broadcast()
 	e.resultsMu.Unlock()
 	e.acc.Add(metrics.Totals{Tuples: 1, Pairs: int64(len(pairs))})
+	if m := e.met; m != nil {
+		m.mergeHold.ObserveSince(p.arrived)
+	}
+	e.completeTrace(p, len(pairs))
 	if e.cfg.OnResult != nil {
 		e.cfg.OnResult(Result{Seq: p.hdr.seq, RID: p.hdr.rid, Expired: p.hdr.expired, Pairs: pairs})
 	}
+}
+
+// completeTrace finishes a sampled arrival's timeline and retains it in the
+// trace ring. All upstream trace fields are safe to read here: the header
+// send ordered the router's writes, the partial sends ordered each shard's.
+func (e *Engine) completeTrace(p *pending, pairs int) {
+	tr := p.hdr.tr
+	if tr == nil || e.traces == nil {
+		return
+	}
+	tr.MergeHoldNs = int64(time.Since(p.arrived))
+	tr.TotalNs = int64(time.Since(tr.start))
+	tr.Pairs = pairs
+	e.traces.Add(*tr)
 }

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"terids/internal/obs"
+)
+
+// TestEngineInstrumentation runs the fixture stream through an engine wired
+// to a private registry with every arrival trace-sampled, then checks that
+// each stage published samples and that traces carry a complete timeline.
+func TestEngineInstrumentation(t *testing.T) {
+	f := loadFixture(t)
+	reg := obs.NewRegistry()
+	eng, err := New(f.sh, Config{
+		Core:        f.cfg,
+		Shards:      4,
+		Obs:         reg,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream {
+		if err := eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Resubmit a live RID to exercise the rejected path.
+	dup := f.stream[len(f.stream)-1]
+	if err := eng.Submit(dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n := uint64(len(f.stream)) + 1
+	if got := reg.Counter("terids_arrivals_total", "", nil).Value(); uint64(got) != n {
+		t.Fatalf("arrivals counter %d, want %d", got, n)
+	}
+	if got := reg.Counter("terids_rejected_total", "", nil).Value(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	if got := reg.Counter("terids_traces_sampled_total", "", nil).Value(); uint64(got) != n {
+		t.Fatalf("trace-sampled counter %d, want %d (TraceSample=1)", got, n)
+	}
+	for _, name := range []string{
+		"terids_impute_queue_wait_seconds",
+		"terids_impute_seconds",
+		"terids_route_seconds",
+		"terids_merge_hold_seconds",
+	} {
+		if c := reg.Histogram(name, "", nil).Count(); c != n {
+			t.Fatalf("%s has %d samples, want %d", name, c, n)
+		}
+	}
+	// No WAL configured: the group-commit wait histogram must stay empty.
+	if c := reg.Histogram("terids_wal_submit_wait_seconds", "", nil).Count(); c != 0 {
+		t.Fatalf("wal wait histogram has %d samples without a WAL", c)
+	}
+	var shardSamples uint64
+	for id := 0; id < 4; id++ {
+		h := reg.Histogram("terids_shard_resolve_seconds", "",
+			obs.Labels{"shard": strconv.Itoa(id)})
+		shardSamples += h.Count()
+	}
+	// Every shard resolves every accepted arrival.
+	if want := uint64(len(f.stream)) * 4; shardSamples != want {
+		t.Fatalf("shard resolve samples %d, want %d", shardSamples, want)
+	}
+
+	traces := eng.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained with TraceSample=1")
+	}
+	if cap := traceRingCap; len(traces) > cap {
+		t.Fatalf("%d traces retained, ring cap %d", len(traces), cap)
+	}
+	var sawRejected bool
+	for _, tr := range traces {
+		if tr.Rejected {
+			sawRejected = true
+			if tr.TotalNs <= 0 {
+				t.Fatalf("rejected trace seq %d missing total: %+v", tr.Seq, tr)
+			}
+			continue
+		}
+		if tr.RID == "" || tr.ImputeNs <= 0 || tr.RouteNs <= 0 || tr.TotalNs <= 0 {
+			t.Fatalf("incomplete trace: %+v", tr)
+		}
+		if tr.QueueWaitNs < 0 || tr.MergeHoldNs < 0 {
+			t.Fatalf("negative stage time in trace: %+v", tr)
+		}
+		if len(tr.ShardNs) != 4 {
+			t.Fatalf("trace seq %d has %d shard entries, want 4", tr.Seq, len(tr.ShardNs))
+		}
+		for s, ns := range tr.ShardNs {
+			if ns <= 0 {
+				t.Fatalf("trace seq %d shard %d resolve time %d, want > 0", tr.Seq, s, ns)
+			}
+		}
+		if tr.TotalNs < tr.ImputeNs {
+			t.Fatalf("trace seq %d total %d < impute %d", tr.Seq, tr.TotalNs, tr.ImputeNs)
+		}
+	}
+	if !sawRejected {
+		t.Fatal("duplicate arrival's trace not retained")
+	}
+}
+
+// TestEngineObsOff checks the kill switch: no instruments registered, no
+// traces retained, pipeline output unaffected.
+func TestEngineObsOff(t *testing.T) {
+	f := loadFixture(t)
+	reg := obs.NewRegistry()
+	eng, err := New(f.sh, Config{
+		Core:        f.cfg,
+		Shards:      2,
+		Obs:         reg,
+		ObsOff:      true,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.stream[:50] {
+		if err := eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Traces(); got != nil {
+		t.Fatalf("ObsOff engine retained %d traces", len(got))
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "terids_") {
+		t.Fatalf("ObsOff engine registered instruments:\n%s", b.String())
+	}
+	if st := eng.Stats(); st.Completed != 50 {
+		t.Fatalf("completed %d, want 50", st.Completed)
+	}
+}

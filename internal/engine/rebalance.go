@@ -2,7 +2,8 @@
 // case of the TER experiments), so a static topic-hash partitioning slowly
 // concentrates residents — and therefore resolution work — on a few shards,
 // eroding the K-way speedup the engine exists to deliver. The rebalancer
-// watches per-shard resident counts and insert rates, and when the imbalance
+// watches per-shard ER-time — where resolution CPU actually goes — with
+// resident counts as fallback, and when the imbalance
 // ratio stays over a configured threshold for a sustained window it performs
 // an online rebalance: barrier-checkpoint at the current watermark, rebuild
 // the router/window/shard state under a new Layout (a weighted topic-slot →
@@ -135,7 +136,38 @@ type RebalanceStats struct {
 	LastSeq        int64   `json:"last_seq"`
 	LastImbalance  float64 `json:"last_imbalance"`
 	LastDurationMS float64 `json:"last_duration_ms"`
-	LastError      string  `json:"last_error,omitempty"`
+	// LastTrigger names what fired the newest rebalance: "manual",
+	// "residents" (resident-count fallback), or "er_time" (the per-shard
+	// resolve-time signal).
+	LastTrigger string `json:"last_trigger,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// rebTrigger identifies what initiated a rebalance — and, for automatic
+// ones, which load signal armed it (the re-validation under the submission
+// lock depends on whether the signal can be re-derived there).
+type rebTrigger int
+
+const (
+	trigManual rebTrigger = iota
+	// trigResidents is the monitor firing on the resident-count imbalance —
+	// the fallback signal when ER-time deltas are unusable (first sample,
+	// post-rebalance reset, or an idle interval).
+	trigResidents
+	// trigERTime is the monitor firing on per-shard ER-time deltas, the
+	// primary signal: where resolution CPU actually went last interval.
+	trigERTime
+)
+
+func (t rebTrigger) String() string {
+	switch t {
+	case trigResidents:
+		return "residents"
+	case trigERTime:
+		return "er_time"
+	default:
+		return "manual"
+	}
 }
 
 // rebState is the rebalancer's mutable bookkeeping, under its own lock so
@@ -148,6 +180,7 @@ type rebState struct {
 	lastSeq  int64
 	lastImb  float64
 	lastTook time.Duration
+	lastTrig rebTrigger
 	lastErr  error
 }
 
@@ -252,10 +285,10 @@ func projectedImbalance(weights []int64, l Layout) float64 {
 // be called from OnResult (like Checkpoint, it waits for the merger to
 // drain).
 func (e *Engine) Rebalance(l Layout) error {
-	return e.rebalance(l, false)
+	return e.rebalance(l, trigManual)
 }
 
-func (e *Engine) rebalance(l Layout, auto bool) (err error) {
+func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 	l, err = l.normalized()
 	if err != nil {
 		return err
@@ -269,12 +302,19 @@ func (e *Engine) rebalance(l Layout, auto bool) (err error) {
 	if err := e.Err(); err != nil {
 		return err
 	}
-	if auto {
+	if trig != trigManual {
 		// The candidate layout was computed before this lock. If a manual
 		// rebalance won the race (different K now) or the skew already
 		// resolved, applying the stale layout would revert the operator's
-		// change — re-validate and stand down instead.
-		if e.cfg.Shards != l.K || imbalanceOf(e.shards) < e.cfg.Rebalance.Threshold {
+		// change — re-validate and stand down instead. An ER-time trigger
+		// only re-checks K: its interval deltas cannot be re-derived here,
+		// and the resident imbalance it deliberately overrides may well be
+		// under threshold.
+		stale := e.cfg.Shards != l.K
+		if trig == trigResidents && imbalanceOf(e.shards) < e.cfg.Rebalance.Threshold {
+			stale = true
+		}
+		if stale {
 			e.reb.mu.Lock()
 			e.reb.skipped++
 			e.reb.mu.Unlock()
@@ -316,17 +356,21 @@ func (e *Engine) rebalance(l Layout, auto bool) (err error) {
 	}
 	e.start()
 	took := time.Since(start)
+	if m := e.met; m != nil {
+		m.rebalancePause.ObserveDuration(took)
+	}
 	e.reb.mu.Lock()
 	e.reb.count++
-	if auto {
+	if trig != trigManual {
 		e.reb.auto++
 	}
 	e.reb.lastSeq = c.Seq
 	e.reb.lastImb = imbBefore
 	e.reb.lastTook = took
+	e.reb.lastTrig = trig
 	e.reb.mu.Unlock()
-	e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f) in %v",
-		oldK, l.K, c.Seq, len(c.Residents), imbBefore, took.Round(time.Microsecond))
+	e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f, trigger %s) in %v",
+		oldK, l.K, c.Seq, len(c.Residents), imbBefore, trig, took.Round(time.Microsecond))
 	return nil
 }
 
@@ -403,16 +447,65 @@ func (e *Engine) startMonitor() {
 	go e.monitor()
 }
 
-// monitor samples the imbalance every Interval and fires an automatic
-// rebalance after Sustain consecutive over-threshold samples — unless no
-// candidate layout would improve matters, in which case the trigger is
-// counted as skipped and the clock restarts.
+// erSample is the monitor's previous per-shard cumulative ER-time reading,
+// the baseline its interval deltas are taken against.
+type erSample struct {
+	k  int
+	er []int64
+}
+
+// loadImbalance is the skew monitor's load signal. The primary signal is
+// per-shard ER-time: the interval delta of each shard's cumulative resolve
+// nanoseconds since the previous sample, measuring where resolution CPU
+// actually went (resident counts only approximate it — a shard hosting few
+// but expensive residents is invisible to occupancy). Resident counts remain
+// the fallback whenever the deltas are unusable: the first sample, a shard
+// count change or post-rebalance counter reset (negative delta), or an idle
+// interval (zero total). prev is updated to the current reading either way.
+func (e *Engine) loadImbalance(prev *erSample) (float64, rebTrigger) {
+	e.stateMu.RLock()
+	k := e.cfg.Shards
+	cur := make([]int64, k)
+	for i, s := range e.shards {
+		cur[i] = s.erTime.Load()
+	}
+	resident := imbalanceOf(e.shards)
+	e.stateMu.RUnlock()
+
+	usable := prev.k == k && len(prev.er) == k
+	var maxD, sumD int64
+	if usable {
+		for i, v := range cur {
+			d := v - prev.er[i]
+			if d < 0 {
+				usable = false
+				break
+			}
+			sumD += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	prev.k, prev.er = k, cur
+	if !usable || sumD == 0 {
+		return resident, trigResidents
+	}
+	return float64(maxD) * float64(k) / float64(sumD), trigERTime
+}
+
+// monitor samples the load imbalance every Interval — per-shard ER-time
+// deltas primarily, resident counts as fallback (see loadImbalance) — and
+// fires an automatic rebalance after Sustain consecutive over-threshold
+// samples, unless no candidate layout would improve matters, in which case
+// the trigger is counted as skipped and the clock restarts.
 func (e *Engine) monitor() {
 	defer e.monitorWG.Done()
 	rc := e.cfg.Rebalance
 	tick := time.NewTicker(rc.Interval)
 	defer tick.Stop()
 	over := 0
+	var prev erSample
 	for {
 		select {
 		case <-e.monitorStop:
@@ -424,7 +517,7 @@ func (e *Engine) monitor() {
 			return
 		case <-tick.C:
 		}
-		imb := e.Imbalance()
+		imb, trig := e.loadImbalance(&prev)
 		if imb < rc.Threshold {
 			over = 0
 			continue
@@ -445,10 +538,10 @@ func (e *Engine) monitor() {
 			e.reb.mu.Lock()
 			e.reb.skipped++
 			e.reb.mu.Unlock()
-			rc.Logf("rebalance: skipped at imbalance %.2f (best layout projects %.2f)", imb, proj)
+			rc.Logf("rebalance: skipped at %s imbalance %.2f (best layout projects %.2f)", trig, imb, proj)
 			continue
 		}
-		switch err := e.rebalance(cand, true); err {
+		switch err := e.rebalance(cand, trig); err {
 		case nil:
 		case ErrClosed:
 			return
@@ -474,6 +567,9 @@ func (e *Engine) RebalanceStats() RebalanceStats {
 		LastSeq:        e.reb.lastSeq,
 		LastImbalance:  e.reb.lastImb,
 		LastDurationMS: float64(e.reb.lastTook.Microseconds()) / 1000,
+	}
+	if e.reb.count > 0 {
+		st.LastTrigger = e.reb.lastTrig.String()
 	}
 	if e.reb.lastErr != nil {
 		st.LastError = e.reb.lastErr.Error()

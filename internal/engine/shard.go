@@ -6,6 +6,7 @@ import (
 	"terids/internal/core"
 	"terids/internal/grid"
 	"terids/internal/metrics"
+	"terids/internal/obs"
 )
 
 // shardCmd is one arrival's work for one shard, delivered in submission
@@ -45,10 +46,21 @@ type shard struct {
 	residents atomic.Int64
 	resolved  atomic.Int64
 	inserts   atomic.Int64
+	// erTime is the shard's cumulative resolve time in nanoseconds — the skew
+	// monitor's primary load signal (per-interval deltas; see rebalance.go).
+	erTime atomic.Int64
+
+	// met is the shard's resolve-latency histogram, nil when
+	// instrumentation is off.
+	met *obs.Histogram
 }
 
 func newShard(id int, e *Engine, g *grid.Grid) *shard {
-	return &shard{id: id, e: e, grid: g, seqOf: make(map[string]int64)}
+	s := &shard{id: id, e: e, grid: g, seqOf: make(map[string]int64)}
+	if e.met != nil {
+		s.met = e.met.shardResolve(id)
+	}
+	return s
 }
 
 // run processes the shard's command stream until it closes or the engine
@@ -86,8 +98,16 @@ func (s *shard) run() {
 			s.residents.Add(1)
 			s.inserts.Add(1)
 		}
-		s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: sw.Lap()}, Prune: ps})
+		er := sw.Lap()
+		s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: er}, Prune: ps})
 		s.resolved.Add(1)
+		s.erTime.Add(int64(er))
+		if s.met != nil {
+			s.met.Observe(int64(er))
+		}
+		if tr := cmd.it.tr; tr != nil && tr.ShardNs != nil {
+			tr.ShardNs[s.id] = int64(er)
+		}
 		select {
 		case s.e.partials <- partial{seq: cmd.it.seq, pairs: out}:
 		case <-s.e.ctx.Done():

@@ -16,6 +16,10 @@ type ShardStats struct {
 	// taken; its per-interval delta is the shard's submit rate, the second
 	// signal (besides Residents) the skew monitor watches.
 	Inserts int64 `json:"inserts"`
+	// ERTimeNs is the shard's cumulative resolve time in nanoseconds — the
+	// skew monitor's primary load signal (per-interval deltas measure where
+	// resolution CPU actually goes, which resident counts only approximate).
+	ERTimeNs int64 `json:"er_time_ns"`
 }
 
 // Stats is a point-in-time view of the engine, safe to read while the
@@ -69,6 +73,7 @@ func (e *Engine) Stats() Stats {
 			Residents: s.residents.Load(),
 			Resolved:  s.resolved.Load(),
 			Inserts:   s.inserts.Load(),
+			ERTimeNs:  s.erTime.Load(),
 		})
 	}
 	e.stateMu.RUnlock()

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument and collector sample
+// in the Prometheus text exposition format (version 0.0.4): families sorted
+// by name, each with one # HELP and # TYPE header, histogram buckets
+// cumulative in ascending le order. Histograms additionally export a
+// read-time quantile gauge family <name>_q{q="0.50"|"0.95"|"0.99"}.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := append([]func(*Emit){}, r.collectors...)
+	r.mu.RUnlock()
+
+	em := &Emit{lines: make(map[string]*famOut)}
+	for _, fn := range collectors {
+		fn(em)
+	}
+
+	out := make(map[string]*famOut, len(fams)+len(em.lines))
+	for _, f := range fams {
+		fo := &famOut{help: f.help, typ: f.typ}
+		var b strings.Builder
+		for _, inst := range f.insts {
+			inst.sample(&b, f.name)
+		}
+		fo.out = append(fo.out, b.String())
+		out[f.name] = fo
+		if f.typ == "histogram" {
+			qf := &famOut{help: f.help + " (read-time quantiles)", typ: "gauge"}
+			var qb strings.Builder
+			for _, inst := range f.insts {
+				h := inst.(*Histogram)
+				for _, q := range quantiles {
+					lbl := `q="` + q.name + `"`
+					if h.lbl != "" {
+						lbl = h.lbl + "," + lbl
+					}
+					writeSample(&qb, f.name+"_q", "", lbl, h.Quantile(q.q)/h.scale)
+				}
+			}
+			qf.out = append(qf.out, qb.String())
+			out[f.name+"_q"] = qf
+		}
+	}
+	for name, fo := range em.lines {
+		if have, ok := out[name]; ok {
+			// A collector extending a static family: append its samples,
+			// keep the existing header.
+			have.out = append(have.out, fo.out...)
+			continue
+		}
+		out[name] = fo
+	}
+
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		fo := out[name]
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(fo.help)
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(fo.typ)
+		b.WriteByte('\n')
+		for _, chunk := range fo.out {
+			b.WriteString(chunk)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

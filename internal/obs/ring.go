@@ -1,0 +1,56 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe ring buffer: the newest capacity
+// entries are retained, older ones silently overwritten. It backs the
+// sampled arrival-trace store — tracing must never grow without bound or
+// block the pipeline on a reader.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	n    int // total ever added
+	next int // next write position
+}
+
+// NewRing builds a ring retaining the newest capacity entries (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Add appends v, overwriting the oldest retained entry when full.
+func (r *Ring[T]) Add(v T) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+	r.mu.Unlock()
+}
+
+// Len returns how many entries are currently retained.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the retained entries, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		out := make([]T, r.n)
+		copy(out, r.buf[:r.n])
+		return out
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

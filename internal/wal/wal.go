@@ -40,6 +40,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"terids/internal/obs"
 )
 
 // ErrFull is returned by a non-blocking Reserve when the pending batch is at
@@ -163,6 +166,12 @@ type Log struct {
 
 	committerDone chan struct{}
 
+	// metCommit/metFsync/metBatch are group-commit instruments in the
+	// process-wide registry, committer-observed (one sample per batch).
+	metCommit *obs.Histogram
+	metFsync  *obs.Histogram
+	metBatch  *obs.Histogram
+
 	// testHookBeforeCommit, when set, runs in the committer just before each
 	// batch write (test-only: lets tests hold a batch open to fill the queue).
 	testHookBeforeCommit func()
@@ -196,6 +205,13 @@ func Open(dir string, opts Options) (*Log, error) {
 	l := &Log{dir: dir, opts: opts, next: -1, durable: -1, committerDone: make(chan struct{})}
 	l.notEmpty = sync.NewCond(&l.mu)
 	l.notFull = sync.NewCond(&l.mu)
+	reg := obs.Default()
+	l.metCommit = reg.Histogram("terids_wal_commit_seconds",
+		"Group-commit batch latency in the WAL committer: rotate if needed, encode, write, fsync.", nil)
+	l.metFsync = reg.Histogram("terids_wal_fsync_seconds",
+		"fsync portion of each WAL group commit (absent samples under NoSync).", nil)
+	l.metBatch = reg.SizeHistogram("terids_wal_batch_entries",
+		"Entries per WAL group-commit batch (how well concurrent submitters amortize each fsync).", nil)
 
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -404,6 +420,7 @@ func (l *Log) run() {
 // commit writes one batch to the active segment, rotating first if the
 // segment is over the threshold. Only the committer touches l.f.
 func (l *Log) commit(entries []Entry) error {
+	commitStart := time.Now()
 	if l.f != nil && l.fsize >= l.opts.SegmentBytes {
 		if err := l.f.Close(); err != nil {
 			return err
@@ -442,15 +459,19 @@ func (l *Log) commit(entries []Entry) error {
 		return fmt.Errorf("wal: writing segment: %w", err)
 	}
 	if !l.opts.NoSync {
+		fsyncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		l.metFsync.ObserveSince(fsyncStart)
 	}
 	l.fsize += int64(buf.Len())
 	l.mu.Lock()
 	l.segs[len(l.segs)-1].size = l.fsize
 	l.total += int64(buf.Len())
 	l.mu.Unlock()
+	l.metCommit.ObserveSince(commitStart)
+	l.metBatch.Observe(int64(len(entries)))
 	return nil
 }
 
