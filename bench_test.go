@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -530,28 +531,84 @@ func BenchmarkRebalance(b *testing.B) {
 // future PRs a perf trajectory to track. On a 4+ core runner K=4 should
 // deliver ≥ 2× the baseline's tuples/s; on fewer cores the pipeline only
 // breaks even against channel overhead.
+// mallocs snapshots the process-wide cumulative allocation count. Deltas
+// around a timed loop capture concurrent pipeline goroutines' allocations
+// too — which b.ReportAllocs (current-goroutine only under RunParallel, but
+// whole-process here) also reflects; the explicit metric feeds
+// BENCH_engine.json regardless of -benchmem.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// runEngineStream drives one fresh engine through the fixture stream in
+// batches of bs and returns the allocations attributed to the timed region
+// (submission through drain; engine construction happens with the timer
+// stopped). The process-wide Mallocs delta captures the pipeline goroutines'
+// allocations, not just this one's.
+func runEngineStream(b *testing.B, f engineFixture, k, bs int) uint64 {
+	b.StopTimer()
+	eng, err := engine.New(f.sh, engine.Config{Core: f.cfg, Shards: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+	a0 := mallocs()
+	for off := 0; off < len(f.stream); off += bs {
+		end := off + bs
+		if end > len(f.stream) {
+			end = len(f.stream)
+		}
+		if err := eng.SubmitBatch(f.stream[off:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return mallocs() - a0
+}
+
 func BenchmarkEngineShards(b *testing.B) {
 	f := loadEngineFixture(b)
-	for _, k := range []int{1, 2, 4, 8} {
+	for _, k := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprint(k), func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
+			var allocs uint64
 			for i := 0; i < b.N; i++ {
-				eng, err := engine.New(f.sh, engine.Config{Core: f.cfg, Shards: k})
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, r := range f.stream {
-					if err := eng.Submit(r); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := eng.Close(); err != nil {
-					b.Fatal(err)
-				}
+				allocs += runEngineStream(b, f, k, 64)
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(b.N*len(f.stream))/b.Elapsed().Seconds(), "tuples/s")
+			arrivals := float64(b.N * len(f.stream))
+			b.ReportMetric(arrivals/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/arrivals, "ns_per_arrival")
+			b.ReportMetric(float64(allocs)/arrivals, "allocs_per_arrival")
+		})
+	}
+}
+
+// BenchmarkSubmitBatch measures the batched hot path end to end at K=4
+// across batch sizes (1 = the single-Submit path). batch_ns_per_arrival and
+// batch_allocs_per_arrival land in BENCH_engine.json; the per-batch
+// amortization of the submission lock and channel hops should make both fall
+// as the batch grows.
+func BenchmarkSubmitBatch(b *testing.B) {
+	f := loadEngineFixture(b)
+	for _, bs := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprint(bs), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var allocs uint64
+			for i := 0; i < b.N; i++ {
+				allocs += runEngineStream(b, f, 4, bs)
+			}
+			b.StopTimer()
+			arrivals := float64(b.N * len(f.stream))
+			b.ReportMetric(arrivals/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/arrivals, "batch_ns_per_arrival")
+			b.ReportMetric(float64(allocs)/arrivals, "batch_allocs_per_arrival")
 		})
 	}
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadFoldsRepeatsToMin: -count > 1 runs repeat a benchmark name;
+// load keeps the per-metric minimum (benchstat-style best-of).
+func TestLoadFoldsRepeatsToMin(t *testing.T) {
+	path := writeReport(t, t.TempDir(), "r.json", Report{Results: []Result{
+		{Name: "EngineShards/4", Metrics: map[string]float64{"ns_per_arrival": 120, "tuples/s": 800}},
+		{Name: "EngineShards/4", Metrics: map[string]float64{"ns_per_arrival": 100, "tuples/s": 900}},
+		{Name: "EngineShards/4", Metrics: map[string]float64{"ns_per_arrival": 110}},
+	}})
+	rep, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep["EngineShards/4"]["ns_per_arrival"]; got != 100 {
+		t.Fatalf("ns_per_arrival folded to %v, want the minimum 100", got)
+	}
+	if got := rep["EngineShards/4"]["tuples/s"]; got != 800 {
+		t.Fatalf("tuples/s folded to %v, want the minimum 800", got)
+	}
+}
+
+// TestCompareNormalizedGate: the gate is on the machine-normalized ratio —
+// a slower machine (higher reference ns) with proportionally slower engine
+// numbers passes, while a true >15% regression fails even when the raw
+// numbers look faster.
+func TestCompareNormalizedGate(t *testing.T) {
+	gated := map[string]bool{"ns_per_arrival": true}
+	base := map[string]map[string]float64{
+		"EngineShards/4": {"ns_per_arrival": 1000},
+	}
+
+	// Same code, machine 2x slower: reference doubles, metric doubles.
+	slower := map[string]map[string]float64{"EngineShards/4": {"ns_per_arrival": 2000}}
+	_, failures, compared := compare(base, slower, 50, 100, gated, 0.15, "cur.json")
+	if compared != 1 || len(failures) != 0 {
+		t.Fatalf("proportional slowdown flagged: compared=%d failures=%v", compared, failures)
+	}
+
+	// Machine 2x faster, but the metric only improved 1.5x: a 33% real
+	// regression hiding behind better raw numbers.
+	hidden := map[string]map[string]float64{"EngineShards/4": {"ns_per_arrival": 667}}
+	_, failures, _ = compare(base, hidden, 100, 50, gated, 0.15, "cur.json")
+	if len(failures) != 1 || !strings.Contains(failures[0], "regressed") {
+		t.Fatalf("hidden regression not flagged: %v", failures)
+	}
+
+	// Dropped benchmark and renamed metric both fail the gate.
+	_, failures, compared = compare(base, map[string]map[string]float64{}, 1, 1, gated, 0.15, "cur.json")
+	if compared != 0 || len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("dropped benchmark not flagged: %v", failures)
+	}
+	renamed := map[string]map[string]float64{"EngineShards/4": {"ns/arrival": 1000}}
+	_, failures, _ = compare(base, renamed, 1, 1, gated, 0.15, "cur.json")
+	if len(failures) != 1 || !strings.Contains(failures[0], "renamed") {
+		t.Fatalf("renamed metric not flagged: %v", failures)
+	}
+}
+
+// TestRefScale: missing or non-positive references are hard errors — a
+// silently absent normalizer would turn the gate into a raw comparison.
+func TestRefScale(t *testing.T) {
+	rep := map[string]map[string]float64{"ProcessorBaseline": {"ns/op": 500}}
+	if v, err := refScale(rep, "ProcessorBaseline", "ns/op", "r.json"); err != nil || v != 500 {
+		t.Fatalf("refScale = %v, %v; want 500, nil", v, err)
+	}
+	if v, err := refScale(rep, "", "ns/op", "r.json"); err != nil || v != 1 {
+		t.Fatalf("disabled normalization = %v, %v; want 1, nil", v, err)
+	}
+	if _, err := refScale(rep, "Gone", "ns/op", "r.json"); err == nil {
+		t.Fatal("missing reference benchmark accepted")
+	}
+	if _, err := refScale(rep, "ProcessorBaseline", "allocs/op", "r.json"); err == nil {
+		t.Fatal("missing reference metric accepted")
+	}
+}

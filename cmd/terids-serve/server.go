@@ -52,6 +52,12 @@ type server struct {
 	// replayDepth bounds how many arrivals one deep replay may re-run
 	// (-replay-depth; 0 = unlimited).
 	replayDepth int64
+	// ingestBatch is how many decoded NDJSON arrivals /ingest groups into one
+	// engine.SubmitBatch (-ingest-batch; 1 = submit per line).
+	ingestBatch int
+	// interner shares tokenizations across ingested records — stream values
+	// repeat heavily, so this removes most per-record tokenize cost.
+	interner *tuple.Interner
 	// deepSem serializes deep replays: each one spins up a throwaway engine
 	// and re-runs a WAL suffix, so concurrent requests queue here instead of
 	// multiplying that cost.
@@ -75,13 +81,15 @@ type server struct {
 // (its OnResult must point at s.onResult, which needs s to exist first).
 func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string) *server {
 	s := &server{
-		schema:  schema,
-		ring:    newResultRing(ringCap, ringBase),
-		ckptDir: ckptDir,
-		done:    make(chan struct{}),
-		deepSem: make(chan struct{}, 1),
-		reg:     obs.Default(),
-		started: time.Now(),
+		schema:      schema,
+		ring:        newResultRing(ringCap, ringBase),
+		ckptDir:     ckptDir,
+		done:        make(chan struct{}),
+		deepSem:     make(chan struct{}, 1),
+		reg:         obs.Default(),
+		started:     time.Now(),
+		ingestBatch: 1,
+		interner:    tuple.NewInterner(0),
 	}
 	s.reg.GaugeFunc("terids_uptime_seconds", "Seconds since this process started serving.", nil,
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -230,7 +238,11 @@ func (s *server) unsubscribe(ch chan engine.Result) {
 	s.mu.Unlock()
 }
 
-// handleIngest parses NDJSON arrivals and submits them in request order.
+// handleIngest parses NDJSON arrivals and submits them in request order,
+// grouped into batches of s.ingestBatch records per engine submission
+// (-ingest-batch; 1 = the old submit-per-line behavior). A batch is accepted
+// or rejected atomically; "accepted" in the reply counts only submitted
+// records, so after an error the client resumes from accepted+1.
 func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 	wait := req.URL.Query().Get("wait") == "1"
 	sc := bufio.NewScanner(req.Body)
@@ -247,6 +259,44 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 			"accepted": accepted, "line": lineNo, "error": msg,
 		})
 	}
+	batchCap := s.ingestBatch
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	batch := make([]*tuple.Record, 0, batchCap)
+	batchStart := 0 // request line of the batch's first record
+	flush := func() (status int, msg string) {
+		if len(batch) == 0 {
+			return 0, ""
+		}
+		var err error
+		if wait {
+			err = s.eng.SubmitBatch(batch)
+		} else {
+			err = s.eng.TrySubmitBatch(batch)
+		}
+		switch {
+		case errors.Is(err, engine.ErrOverloaded):
+			return http.StatusTooManyRequests, "ingest queue full"
+		case errors.Is(err, engine.ErrInvalidRecord):
+			return http.StatusBadRequest, fmt.Sprintf("lines %d-%d: %v", batchStart, lineNo, err)
+		case err != nil:
+			return http.StatusServiceUnavailable, err.Error()
+		}
+		accepted += len(batch)
+		batch = batch[:0]
+		return 0, ""
+	}
+	// fail flushes what parsed cleanly before the offending line (preserving
+	// the submit-per-line contract that earlier valid lines are accepted),
+	// then reports the line's own error — unless the flush itself failed.
+	fail := func(status int, msg string) {
+		if st, m := flush(); st != 0 {
+			reply(st, m)
+			return
+		}
+		reply(status, msg)
+	}
 	for sc.Scan() {
 		lineNo++
 		raw := strings.TrimSpace(sc.Text())
@@ -255,15 +305,15 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 		}
 		var a arrival
 		if err := json.Unmarshal([]byte(raw), &a); err != nil {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			fail(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
 			return
 		}
 		if a.RID == "" {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
+			fail(http.StatusBadRequest, fmt.Sprintf("line %d: missing rid", lineNo))
 			return
 		}
 		if a.Stream < 0 || (s.streams > 0 && a.Stream >= s.streams) {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: stream %d outside [0,%d)", lineNo, a.Stream, s.streams))
+			fail(http.StatusBadRequest, fmt.Sprintf("line %d: stream %d outside [0,%d)", lineNo, a.Stream, s.streams))
 			return
 		}
 		if ok, wait := s.limiter.allow(a.Stream); !ok {
@@ -272,38 +322,35 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 				"Ingest requests rejected by the per-stream rate limit.",
 				obs.Labels{"stream": strconv.Itoa(a.Stream)}).Inc()
 			rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
-			reply(http.StatusTooManyRequests, fmt.Sprintf("line %d: stream %d over the ingest rate limit", lineNo, a.Stream))
+			fail(http.StatusTooManyRequests, fmt.Sprintf("line %d: stream %d over the ingest rate limit", lineNo, a.Stream))
 			return
 		}
 		seq := s.autoSeq.Add(1)
 		if a.Seq != nil {
 			seq = *a.Seq
 		}
-		rec, err := tuple.NewRecord(s.schema, a.RID, a.Stream, seq, a.Values)
+		rec, err := s.interner.NewRecord(s.schema, a.RID, a.Stream, seq, a.Values)
 		if err != nil {
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+			fail(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
 			return
 		}
-		if wait {
-			err = s.eng.Submit(rec)
-		} else {
-			err = s.eng.TrySubmit(rec)
+		if len(batch) == 0 {
+			batchStart = lineNo
 		}
-		switch {
-		case errors.Is(err, engine.ErrOverloaded):
-			reply(http.StatusTooManyRequests, "ingest queue full")
-			return
-		case errors.Is(err, engine.ErrInvalidRecord):
-			reply(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
-			return
-		case err != nil:
-			reply(http.StatusServiceUnavailable, err.Error())
-			return
+		batch = append(batch, rec)
+		if len(batch) >= batchCap {
+			if st, msg := flush(); st != 0 {
+				reply(st, msg)
+				return
+			}
 		}
-		accepted++
 	}
 	if err := sc.Err(); err != nil {
-		reply(http.StatusBadRequest, err.Error())
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	if st, msg := flush(); st != 0 {
+		reply(st, msg)
 		return
 	}
 	reply(http.StatusOK, "")

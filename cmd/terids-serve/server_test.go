@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -922,6 +923,68 @@ func TestServeBadFrom(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("GET /results%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeIngestBatched: with -ingest-batch > 1, /ingest groups NDJSON
+// lines into one engine submission per batch — and the result stream stays
+// byte-identical to the submit-per-line server. A bad line mid-request still
+// honours the per-line contract: the parsed prefix is flushed and counted
+// before the error is reported, so the client resumes from accepted+1.
+func TestServeIngestBatched(t *testing.T) {
+	f := loadServeFixture(t)
+	n := len(f.stream) - 5 // keep 5 records for the error-mid-batch case
+	if n > 115 {
+		n = 115
+	}
+
+	single, tsSingle := startServer(t, f, 2, 256, nil)
+	if single.ingestBatch != 1 {
+		t.Fatalf("newServer defaults ingestBatch=%d, want 1", single.ingestBatch)
+	}
+	ingest(t, tsSingle, f.stream[:n])
+
+	batched, tsBatched := startServer(t, f, 2, 256, nil)
+	batched.ingestBatch = 7 // uneven vs. n: exercises the trailing partial flush
+	ingest(t, tsBatched, f.stream[:n])
+
+	want := readResults(t, tsSingle, "?from=0", n)
+	got := readResults(t, tsBatched, "?from=0", n)
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("result %d diverges under batching:\n  batched: %+v\n  per-line: %+v", i, got[i], want[i])
+		}
+	}
+
+	// A malformed line after 5 good ones: 400, accepted=5 (prefix flushed),
+	// and the 5 flushed arrivals show up in /results.
+	body := ndjson(t, f.stream[n:n+5]) + "{\"rid\":\"\",\"stream\":0,\"values\":[]}\n"
+	resp, err := http.Post(tsBatched.URL+"/ingest?wait=1", "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Accepted int    `json:"accepted"`
+		Line     int    `json:"line"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad line mid-batch: status %d, want 400", resp.StatusCode)
+	}
+	if out.Accepted != 5 || out.Line != 6 {
+		t.Fatalf("bad line mid-batch: accepted=%d line=%d (%s), want accepted=5 line=6",
+			out.Accepted, out.Line, out.Error)
+	}
+	flushed := readResults(t, tsBatched, fmt.Sprintf("?from=%d", n), 5)
+	for i, line := range flushed {
+		if line.RID != f.stream[n+i].RID {
+			t.Fatalf("flushed prefix arrival %d: rid %q, want %q", i, line.RID, f.stream[n+i].RID)
 		}
 	}
 }

@@ -69,6 +69,7 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 0,
 			"periodic background checkpoints under -wal (0 = only the final one; requires -wal)")
 		debugAddr = flag.String("debug-addr", "", "listener for net/http/pprof, expvar, and /metrics while the run executes (empty = disabled)")
+		batch     = flag.Int("batch", 64, "arrivals submitted per engine batch when -shards > 1 (1 = submit one at a time)")
 	)
 	flag.Parse()
 	if err := (cliutil.Params{
@@ -259,9 +260,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		bs := *batch
+		if bs < 1 {
+			bs = 1
+		}
 		start = time.Now()
-		for _, r := range stream {
-			if err := eng.Submit(r); err != nil {
+		for off := 0; off < len(stream); off += bs {
+			end := off + bs
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if err := eng.SubmitBatch(stream[off:end]); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -21,6 +21,7 @@ import (
 
 	"terids/internal/core"
 	"terids/internal/snapshot"
+	"terids/internal/tuple"
 	"terids/internal/wal"
 )
 
@@ -155,7 +156,23 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		return err
 	}
 
+	// Regeneration is batched: the cursor only advances past entries whose
+	// batch was submitted, so a restart after an error or stop re-reads
+	// exactly the unsubmitted suffix.
+	const replayBatch = 64
 	cursor := base
+	batch := make([]*tuple.Record, 0, replayBatch)
+	flush := func(upto int64) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := eng.SubmitBatch(batch)
+		batch = batch[:0]
+		if err == nil {
+			cursor = upto
+		}
+		return err
+	}
 	for !stop.Load() {
 		if err := ctx.Err(); err != nil {
 			break
@@ -164,6 +181,7 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		if cursor >= frontier {
 			break
 		}
+		last := cursor
 		err := d.Log.Replay(cursor, func(e wal.Entry) error {
 			if stop.Load() {
 				return errReplayStopped
@@ -175,17 +193,23 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 			if err != nil {
 				return err
 			}
-			if err := eng.Submit(rec); err != nil {
-				return err
+			batch = append(batch, rec)
+			last = e.Seq + 1
+			if len(batch) < replayBatch {
+				return nil
 			}
-			cursor = e.Seq + 1
-			return nil
+			return flush(last)
 		})
+		if err == nil {
+			err = flush(last)
+		}
 		if err != nil && !errors.Is(err, errReplayStopped) {
 			eng.Close()
 			return fmt.Errorf("engine: deep replay: %w", err)
 		}
 		if err != nil {
+			// Stopped mid-log: the unsubmitted tail is discarded.
+			batch = batch[:0]
 			break
 		}
 	}

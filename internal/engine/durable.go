@@ -38,6 +38,7 @@ import (
 	"terids/internal/core"
 	"terids/internal/obs"
 	"terids/internal/snapshot"
+	"terids/internal/tuple"
 	"terids/internal/wal"
 )
 
@@ -412,17 +413,30 @@ func OpenDurable(sh *core.Shared, cfg Config, d DurableConfig) (*Durable, error)
 	if ckpt != nil {
 		dur.lastCkptSeq = ckpt.Seq
 	}
-	// Replay the durable suffix through the normal pipeline. The WAL appends
-	// these sequences idempotently (they are already durable), so Submit
-	// behaves exactly as it did the first time.
+	// Replay the durable suffix through the normal pipeline in batches. The
+	// WAL appends these sequences idempotently (they are already durable), so
+	// SubmitBatch behaves exactly as it did the first time — minus the per-
+	// arrival submission overhead, which is what makes recovery fast.
+	const recoveryBatch = 256
+	batch := make([]*tuple.Record, 0, recoveryBatch)
 	err = log.Replay(watermark, func(e wal.Entry) error {
 		rec, err := core.ArrivalRecord(sh.Schema, e.RID, e.Stream, e.TupleSeq, e.EntityID, e.Values)
 		if err != nil {
 			return err
 		}
-		dur.replayed++
-		return eng.Submit(rec)
+		batch = append(batch, rec)
+		if len(batch) < recoveryBatch {
+			return nil
+		}
+		dur.replayed += int64(len(batch))
+		err = eng.SubmitBatch(batch)
+		batch = batch[:0]
+		return err
 	})
+	if err == nil && len(batch) > 0 {
+		dur.replayed += int64(len(batch))
+		err = eng.SubmitBatch(batch)
+	}
 	if err != nil {
 		eng.Close()
 		return fail(fmt.Errorf("engine: wal replay: %w", err))

@@ -133,11 +133,14 @@ type Result struct {
 	Pairs []core.Pair
 }
 
-// item is one arrival moving through the pipeline.
+// item is one arrival moving through the pipeline. Items are pooled (see
+// pool.go): submitBatch gets one, the merger returns it at finalize.
 type item struct {
-	seq  int64
-	rec  *tuple.Record
-	prof *profileOut
+	seq int64
+	rec *tuple.Record
+	// prof is embedded by value so the impute stage's product costs no
+	// allocation of its own.
+	prof profileOut
 	// enq is when the arrival entered the ingest queue (set only when
 	// instrumentation is on; on the durable path, after the group commit so
 	// queue wait excludes the WAL wait).
@@ -146,7 +149,8 @@ type item struct {
 	tr *Trace
 }
 
-// profileOut is the impute stage's product.
+// profileOut is the impute stage's product. homes always aliases one of the
+// engine's interned home slices (see topic.go) and must never be mutated.
 type profileOut struct {
 	im    *tuple.Imputed
 	prof  *prune.Profile
@@ -170,6 +174,10 @@ type header struct {
 	// ShardNs) before sending the header, so this send is the merger's
 	// happens-before edge for reading them.
 	tr *Trace
+	// it hands the pooled item wrapper to the merger for recycling at
+	// finalize — by then every shard's partial send happens-before, so no
+	// stage can still be reading it.
+	it *item
 }
 
 // Engine is the sharded concurrent TER-iDS executor. Submit goroutines,
@@ -181,11 +189,17 @@ type Engine struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	subMu  sync.Mutex // serializes submissions (seq assignment + imputeIn send) + closed
+	// subMu serializes sequence assignment and WAL reservation (+ closed).
+	// It is NEVER held across a pipeline channel send: a stalled pipeline
+	// must not serialize other submitters' WAL reservations (or wedge
+	// TrySubmit/Close/Checkpoint behind a blocked send). The router's
+	// seq-keyed reorder window restores submission order, so injection can
+	// happen outside the lock.
+	subMu  sync.Mutex
 	closed bool
-	// inflight tracks durable-path submitters between WAL reservation and
-	// pipeline injection; Close waits for them before closing imputeIn (a
-	// reserved sequence number MUST reach the pipeline, or the merger's
+	// inflight tracks submitters between sequence assignment and pipeline
+	// injection; Close and Rebalance wait for them before closing imputeIn
+	// (an assigned sequence number MUST reach the pipeline, or the merger's
 	// reorder buffer would wait for it forever).
 	inflight sync.WaitGroup
 	// seq is written only under subMu; atomic so Stats() can read it
@@ -203,11 +217,39 @@ type Engine struct {
 	// after a swap completes and stopped before the next one begins.
 	stateMu sync.RWMutex
 
-	imputeIn   chan *item
-	imputedOut chan *item
+	// The pipeline channels carry batches: submitBatch splits a batch into
+	// impute-sized chunks of []*item, the router re-groups in-order items
+	// and fans out one shardCmd (N tuples) per shard per batch, shards
+	// answer with one multi-entry partial, and headers travel as one slice
+	// per routed batch — a single channel hop amortized over N arrivals at
+	// every stage.
+	imputeIn   chan []*item
+	imputedOut chan []*item
 	shardCh    []chan shardCmd
-	hdrCh      chan header
+	hdrCh      chan []header
 	partials   chan partial
+	// shardScratch holds the router's per-shard batch under construction
+	// (router-owned; length tracks cfg.Shards across rebalances). A slot is
+	// nil after its batch is handed to the shard and refilled from the pool
+	// on the next routed run.
+	shardScratch [][]shardItem
+
+	// Hot-path pools (see pool.go for the ownership hand-off rules).
+	itemPool        itemPool
+	itemsPool       *slicePool[*item]
+	shardItemsPool  *slicePool[shardItem]
+	headersPool     *slicePool[header]
+	partEntriesPool *slicePool[partialEntry]
+	shardPairsPool  *slicePool[shardPair]
+	walBufPool      *slicePool[wal.Entry]
+
+	// Interned topic tables (see topic.go): kwSlots caches each shared
+	// keyword's layout slot (keywords are immutable for the engine's life);
+	// homeSingle[s] and homeAll are the shared, read-only home-shard slices
+	// homeShards returns, rebuilt whenever K changes.
+	kwSlots    []int
+	homeSingle [][]int
+	homeAll    []int
 
 	imputeWG sync.WaitGroup
 	shardWG  sync.WaitGroup
@@ -275,9 +317,9 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 	e := &Engine{
 		step:       step,
 		cfg:        cfg,
-		imputeIn:   make(chan *item, cfg.QueueDepth),
-		imputedOut: make(chan *item, cfg.QueueDepth),
-		hdrCh:      make(chan header, cfg.QueueDepth),
+		imputeIn:   make(chan []*item, cfg.QueueDepth),
+		imputedOut: make(chan []*item, cfg.QueueDepth),
+		hdrCh:      make(chan []header, cfg.QueueDepth),
 		partials:   make(chan partial, cfg.QueueDepth*cfg.Shards),
 		results:    core.NewResultSet(),
 		live:       make(map[string]int),
@@ -296,6 +338,23 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 			e.traces = obs.NewRing[Trace](traceRingCap)
 		}
 	}
+	ps := func(string) poolStats { return poolStats{} }
+	if e.met != nil {
+		ps = e.met.poolStats
+	}
+	e.itemPool.st = ps("item")
+	e.itemsPool = newSlicePool[*item](ps("item_chunk"))
+	e.shardItemsPool = newSlicePool[shardItem](ps("shard_batch"))
+	e.headersPool = newSlicePool[header](ps("header_batch"))
+	e.partEntriesPool = newSlicePool[partialEntry](ps("partial_batch"))
+	e.shardPairsPool = newSlicePool[shardPair](ps("shard_pairs"))
+	e.walBufPool = newSlicePool[wal.Entry](ps("wal_entries"))
+	kws := step.Shared().Keywords
+	e.kwSlots = make([]int, len(kws))
+	for i, kw := range kws {
+		e.kwSlots[i] = slotOf(kw)
+	}
+	e.internHomes()
 
 	cc := cfg.Core
 	if cc.TimeSpan > 0 {
@@ -316,6 +375,7 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 	}
 
 	e.shardCh = make([]chan shardCmd, cfg.Shards)
+	e.shardScratch = make([][]shardItem, cfg.Shards)
 	e.shards = make([]*shard, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		g, err := step.NewGrid()
@@ -379,22 +439,66 @@ func (e *Engine) Err() error {
 // Submit enqueues one arrival, blocking while the ingest queue is full
 // (backpressure). Submission order defines the engine's arrival order.
 func (e *Engine) Submit(r *tuple.Record) error {
-	return e.submit(r, true)
+	one := [1]*tuple.Record{r}
+	return e.submitBatch(one[:], true)
 }
 
 // TrySubmit enqueues one arrival without blocking; it returns ErrOverloaded
 // when the ingest queue is full.
 func (e *Engine) TrySubmit(r *tuple.Record) error {
-	return e.submit(r, false)
+	one := [1]*tuple.Record{r}
+	return e.submitBatch(one[:], false)
 }
 
-func (e *Engine) submit(r *tuple.Record, wait bool) error {
-	if r.Schema() != e.step.Shared().Schema {
-		return fmt.Errorf("engine: record %s uses a foreign schema: %w", r.RID, ErrInvalidRecord)
+// SubmitBatch enqueues a batch of arrivals as one submission: the whole
+// batch is validated up front, its sequence numbers are assigned and its WAL
+// slots reserved under one lock acquisition, and it enters the pipeline in
+// impute-sized chunks. The batch is accepted or rejected atomically —
+// on error no record of it has been enqueued. Output is byte-identical to
+// submitting the records one by one with Submit, in slice order. The engine
+// does not retain recs itself, but it keeps references to the Records
+// (windows, grids), which must not be mutated after submission.
+func (e *Engine) SubmitBatch(recs []*tuple.Record) error {
+	return e.submitBatch(recs, true)
+}
+
+// TrySubmitBatch is SubmitBatch with backpressure: unless the ingest queue
+// has room for the whole batch, it returns ErrOverloaded instead of
+// blocking — the batch is admitted or rejected atomically, never partially.
+func (e *Engine) TrySubmitBatch(recs []*tuple.Record) error {
+	return e.submitBatch(recs, false)
+}
+
+// chunkSize picks the impute-chunk granularity for an n-record batch:
+// enough chunks to keep the impute pool busy (about two per worker), capped
+// so one chunk never serializes a large slice of the batch on one worker.
+func (e *Engine) chunkSize(n int) int {
+	c := (n + 2*e.cfg.ImputeWorkers - 1) / (2 * e.cfg.ImputeWorkers)
+	if c < 1 {
+		c = 1
 	}
-	if r.Stream < 0 || r.Stream >= e.cfg.Core.Streams {
-		return fmt.Errorf("engine: record %s has stream %d, have %d streams: %w",
-			r.RID, r.Stream, e.cfg.Core.Streams, ErrInvalidRecord)
+	if c > 32 {
+		c = 32
+	}
+	return c
+}
+
+func (e *Engine) submitBatch(recs []*tuple.Record, wait bool) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	schema := e.step.Shared().Schema
+	for _, r := range recs {
+		if r == nil {
+			return fmt.Errorf("engine: nil record in batch: %w", ErrInvalidRecord)
+		}
+		if r.Schema() != schema {
+			return fmt.Errorf("engine: record %s uses a foreign schema: %w", r.RID, ErrInvalidRecord)
+		}
+		if r.Stream < 0 || r.Stream >= e.cfg.Core.Streams {
+			return fmt.Errorf("engine: record %s has stream %d, have %d streams: %w",
+				r.RID, r.Stream, e.cfg.Core.Streams, ErrInvalidRecord)
+		}
 	}
 	e.subMu.Lock()
 	if e.closed {
@@ -405,84 +509,123 @@ func (e *Engine) submit(r *tuple.Record, wait bool) error {
 		e.subMu.Unlock()
 		return err
 	}
-	it := &item{seq: e.seq.Load(), rec: r}
-	if m := e.met; m != nil {
-		it.enq = time.Now()
-		if e.traces != nil && it.seq%int64(e.cfg.TraceSample) == 0 {
-			it.tr = &Trace{Seq: it.seq, RID: r.RID, Stream: r.Stream, start: it.enq}
-			m.traceSampled.Inc()
-		}
-	}
-	if e.cfg.WAL == nil {
-		defer e.subMu.Unlock()
-		if wait {
-			select {
-			case e.imputeIn <- it:
-			case <-e.ctx.Done():
-				if err := e.Err(); err != nil {
-					return err
-				}
-				return ErrClosed
-			}
-		} else {
-			select {
-			case e.imputeIn <- it:
-			default:
-				return ErrOverloaded
-			}
-		}
-		e.seq.Add(1)
-		if m := e.met; m != nil {
-			m.arrivals.Inc()
-		}
-		return nil
-	}
-	// Durable path: once the slot is reserved the arrival is committed to
-	// the pipeline, so the non-blocking check happens up front (a full
-	// ingest queue may still briefly block below if it fills in between).
-	if !wait && len(e.imputeIn) == cap(e.imputeIn) {
-		e.subMu.Unlock()
-		return ErrOverloaded
-	}
-	tk, err := e.cfg.WAL.Reserve(walEntry(it.seq, r), wait)
-	if err != nil {
-		e.subMu.Unlock()
-		if errors.Is(err, wal.ErrFull) {
+	// Backpressure check happens before the batch commits to its sequence
+	// numbers: once sequences are assigned the batch MUST reach the
+	// pipeline, so a non-waiting batch is admitted only if ALL of its
+	// impute chunks fit in the queue's current free space. For a single
+	// record this is exactly the old "queue full" check; for a batch it
+	// keeps TrySubmitBatch from blocking mid-injection after admission
+	// (free slots may still be stolen by a concurrent submitter in the
+	// window before injection — that residual block is brief and bounded).
+	if !wait {
+		cs := e.chunkSize(len(recs))
+		chunks := (len(recs) + cs - 1) / cs
+		if len(e.imputeIn)+chunks > cap(e.imputeIn) {
+			e.subMu.Unlock()
 			return ErrOverloaded
 		}
-		return fmt.Errorf("engine: wal reserve: %w", err)
 	}
-	e.seq.Add(1)
+	n := len(recs)
+	base := e.seq.Load()
+	var tk wal.Ticket
+	durable := e.cfg.WAL != nil
+	if durable {
+		entries := e.walBufPool.get(n)
+		for i, r := range recs {
+			entries = append(entries, walEntry(base+int64(i), r))
+		}
+		t, err := e.cfg.WAL.ReserveN(entries, wait)
+		e.walBufPool.put(entries)
+		if err != nil {
+			e.subMu.Unlock()
+			if errors.Is(err, wal.ErrFull) {
+				return ErrOverloaded
+			}
+			return fmt.Errorf("engine: wal reserve: %w", err)
+		}
+		tk = t
+	}
+	m := e.met
+	var now time.Time
+	if m != nil {
+		now = time.Now()
+	}
+	items := e.itemsPool.get(n)
+	for i, r := range recs {
+		it := e.itemPool.get()
+		it.seq = base + int64(i)
+		it.rec = r
+		if m != nil {
+			it.enq = now
+			if e.traces != nil && it.seq%int64(e.cfg.TraceSample) == 0 {
+				it.tr = &Trace{Seq: it.seq, RID: r.RID, Stream: r.Stream, start: now}
+				m.traceSampled.Inc()
+			}
+		}
+		items = append(items, it)
+	}
+	e.seq.Store(base + int64(n))
 	e.inflight.Add(1)
-	if m := e.met; m != nil {
-		m.arrivals.Inc()
+	if m != nil {
+		m.arrivals.Add(int64(n))
+		m.batchEntries.Observe(int64(n))
 	}
 	e.subMu.Unlock()
 	defer e.inflight.Done()
-	// Wait for the group commit outside the submission lock, so concurrent
-	// submitters batch into shared fsyncs.
-	if err := tk.Wait(); err != nil {
-		err = fmt.Errorf("engine: wal append: %w", err)
-		e.fail(err)
-		return err
-	}
-	if m := e.met; m != nil {
-		now := time.Now()
-		walWait := now.Sub(it.enq)
-		m.walWait.Observe(int64(walWait))
-		if it.tr != nil {
-			it.tr.WALWaitNs = int64(walWait)
+	if durable {
+		// Wait for the group commit outside the submission lock, so
+		// concurrent submitters batch into shared fsyncs.
+		if err := tk.Wait(); err != nil {
+			err = fmt.Errorf("engine: wal append: %w", err)
+			e.fail(err)
+			return err
 		}
-		// Restart the queue-wait clock: the time spent in the group commit is
-		// WAL wait, not ingest-queue wait.
-		it.enq = now
+		if m != nil {
+			done := time.Now()
+			walWait := done.Sub(now)
+			m.walWait.Observe(int64(walWait))
+			for _, it := range items {
+				if it.tr != nil {
+					it.tr.WALWaitNs = int64(walWait)
+				}
+				// Restart the queue-wait clock: time spent in the group
+				// commit is WAL wait, not ingest-queue wait.
+				it.enq = done
+			}
+		}
 	}
+	// Inject outside subMu — the router's reorder window restores sequence
+	// order, so a pipeline stalled here cannot serialize other submitters'
+	// WAL reservations (or wedge TrySubmit behind the lock).
+	cs := e.chunkSize(n)
+	if cs >= n {
+		return e.inject(items)
+	}
+	for off := 0; off < n; off += cs {
+		end := off + cs
+		if end > n {
+			end = n
+		}
+		chunk := e.itemsPool.get(cs)
+		chunk = append(chunk, items[off:end]...)
+		if err := e.inject(chunk); err != nil {
+			e.itemsPool.put(items)
+			return err
+		}
+	}
+	e.itemsPool.put(items)
+	return nil
+}
+
+// inject sends one impute chunk into the pipeline; the chunk's ownership
+// passes to the impute worker that receives it.
+func (e *Engine) inject(chunk []*item) error {
 	select {
-	case e.imputeIn <- it:
+	case e.imputeIn <- chunk:
 		return nil
 	case <-e.ctx.Done():
 		// Only a pipeline failure cancels the context while submitters are
-		// inflight (Close waits for us first).
+		// inflight (Close and Rebalance wait for us first).
 		if err := e.Err(); err != nil {
 			return err
 		}
@@ -535,37 +678,47 @@ func (e *Engine) Close() error {
 
 // imputeWorker runs the parallel imputation stage: the index join plus
 // profile construction and home-shard selection, all over read-only state.
+// Chunks move through whole: the worker imputes every item in its chunk and
+// forwards the chunk to the router in one send.
 func (e *Engine) imputeWorker() {
 	defer e.imputeWG.Done()
-	for it := range e.imputeIn {
+	for chunk := range e.imputeIn {
 		m := e.met
 		var stageStart time.Time
 		if m != nil {
 			stageStart = time.Now()
-			qw := stageStart.Sub(it.enq)
-			m.imputeWait.Observe(int64(qw))
-			if it.tr != nil {
-				it.tr.QueueWaitNs = int64(qw)
-			}
 		}
-		im, bd := e.step.Impute(it.rec)
-		var sw metrics.Stopwatch
-		sw.Start()
-		prof := e.step.Profile(im)
-		out := &profileOut{im: im, prof: prof}
-		out.homes, out.slot = e.homeShards(prof)
-		bd.ER += sw.Lap() // profile construction is ER-phase cost in core
-		e.acc.AddBreakdown(bd)
-		it.prof = out
+		for _, it := range chunk {
+			if m != nil {
+				qw := stageStart.Sub(it.enq)
+				m.imputeWait.Observe(int64(qw))
+				if it.tr != nil {
+					it.tr.QueueWaitNs = int64(qw)
+				}
+			}
+			im, bd := e.step.Impute(it.rec)
+			var sw metrics.Stopwatch
+			sw.Start()
+			prof := e.step.Profile(im)
+			it.prof.im = im
+			it.prof.prof = prof
+			it.prof.homes, it.prof.slot = e.homeShards(prof)
+			bd.ER += sw.Lap() // profile construction is ER-phase cost in core
+			e.acc.AddBreakdown(bd)
+		}
 		if m != nil {
+			// Whole-chunk impute cost, attributed evenly across the chunk.
 			d := time.Since(stageStart)
-			m.imputeTime.Observe(int64(d))
-			if it.tr != nil {
-				it.tr.ImputeNs = int64(d)
+			per := int64(d) / int64(len(chunk))
+			for _, it := range chunk {
+				m.imputeTime.Observe(per)
+				if it.tr != nil {
+					it.tr.ImputeNs = per
+				}
 			}
 		}
 		select {
-		case e.imputedOut <- it:
+		case e.imputedOut <- chunk:
 		case <-e.ctx.Done():
 			return
 		}
@@ -574,7 +727,7 @@ func (e *Engine) imputeWorker() {
 
 // router is the sequential heart of the pipeline: it restores submission
 // order after the parallel impute stage, advances the sliding windows,
-// and fans commands out to the shards and the merger.
+// and fans commands out to the shards and the merger in per-chunk batches.
 func (e *Engine) router() {
 	defer func() {
 		for _, ch := range e.shardCh {
@@ -586,103 +739,134 @@ func (e *Engine) router() {
 	// snapshot restore) tracks resident RIDs across all shards so
 	// duplicates are rejected per-tuple instead of failing a shard's grid
 	// insert.
-	buf := reorder[*item]{next: e.startSeq}
-	for it := range e.imputedOut {
-		ok := true
-		buf.add(it.seq, it, func(next *item) {
-			if ok {
-				ok = e.route(next)
+	win := seqWindow[*item]{next: e.startSeq}
+	// released is the router's reusable scratch run of in-order items: each
+	// incoming chunk releases zero or more arrivals past the reorder
+	// frontier, and the whole run goes to the shards as one batch.
+	released := make([]*item, 0, 64)
+	for chunk := range e.imputedOut {
+		for _, it := range chunk {
+			win.put(it.seq, it)
+		}
+		e.itemsPool.put(chunk)
+		released = released[:0]
+		for {
+			it, ok := win.popNext()
+			if !ok {
+				break
 			}
-		})
-		if !ok {
+			released = append(released, it)
+		}
+		if len(released) == 0 {
+			continue
+		}
+		if !e.routeBatch(released) {
 			// Keep draining imputedOut so impute workers can exit; the
 			// context is cancelled, their sends abort.
+			for i := range released {
+				released[i] = nil
+			}
 			return
 		}
 	}
 }
 
-// route processes one in-order arrival: expiry, then one command per shard.
-// Duplicate live RIDs are rejected before touching window or grid state.
-// The per-shard commands go out before the header: the router finishes
-// writing the arrival's trace fields only after the fan-out, and the header
-// send is the merger's happens-before edge for reading them.
-func (e *Engine) route(it *item) bool {
+// routeBatch processes a run of in-order arrivals: expiry and window/live
+// bookkeeping per arrival, then ONE command per shard carrying the whole run,
+// and finally the run's headers in one send. Duplicate live RIDs are rejected
+// before touching window or grid state. The per-shard commands go out before
+// the headers: the router finishes writing each arrival's trace fields before
+// the fan-out, and the header send is the merger's happens-before edge for
+// reading them.
+func (e *Engine) routeBatch(items []*item) bool {
 	m := e.met
 	var routeStart time.Time
 	if m != nil {
 		routeStart = time.Now()
 	}
-	if _, dup := e.live[it.rec.RID]; dup {
-		hdr := header{seq: it.seq, rid: it.rec.RID, skip: true}
-		if m != nil {
-			d := time.Since(routeStart)
-			m.routeTime.Observe(int64(d))
+	k := len(e.shardCh)
+	batches := e.shardScratch
+	for i := range batches {
+		if batches[i] == nil {
+			batches[i] = e.shardItemsPool.get(len(items))
+		}
+	}
+	hdrs := e.headersPool.get(len(items))
+	for _, it := range items {
+		if _, dup := e.live[it.rec.RID]; dup {
+			hdr := header{seq: it.seq, rid: it.rec.RID, skip: true, it: it}
 			if tr := it.tr; tr != nil {
 				tr.Rejected = true
 				tr.Slot = -1
-				tr.RouteNs = int64(d)
 				hdr.tr = tr
 			}
+			hdrs = append(hdrs, hdr)
+			continue
 		}
-		select {
-		case e.hdrCh <- hdr:
-			return true
-		case <-e.ctx.Done():
+		expired, err := e.pushWindow(it.rec)
+		if err != nil {
+			e.fail(err)
+			e.headersPool.put(hdrs)
 			return false
 		}
-	}
-	expired, err := e.pushWindow(it.rec)
-	if err != nil {
-		e.fail(err)
-		return false
-	}
-	var rids []string
-	for _, x := range expired {
-		rids = append(rids, x.RID)
-		if slot, ok := e.live[x.RID]; ok && slot >= 0 {
-			e.slotWeight[slot].Add(-1)
+		var rids []string
+		for _, x := range expired {
+			rids = append(rids, x.RID)
+			if slot, ok := e.live[x.RID]; ok && slot >= 0 {
+				e.slotWeight[slot].Add(-1)
+			}
+			delete(e.live, x.RID)
 		}
-		delete(e.live, x.RID)
+		e.live[it.rec.RID] = it.prof.slot
+		if it.prof.slot >= 0 {
+			e.slotWeight[it.prof.slot].Add(1)
+		}
+		homes := it.prof.homes
+		if tr := it.tr; tr != nil {
+			tr.Slot = it.prof.slot
+			tr.Homes = homes
+			// Allocated before the fan-out: each shard writes only its own
+			// index (ordered by its partial send), the merger reads after all
+			// partials.
+			tr.ShardNs = make([]int64, k)
+		}
+		for i := 0; i < k; i++ {
+			si := shardItem{it: it, removes: rids}
+			for _, h := range homes {
+				if h == i {
+					si.insert = true
+					break
+				}
+			}
+			batches[i] = append(batches[i], si)
+		}
+		hdrs = append(hdrs, header{seq: it.seq, rid: it.rec.RID, expired: rids, it: it, tr: it.tr})
 	}
-	e.live[it.rec.RID] = it.prof.slot
-	if it.prof.slot >= 0 {
-		e.slotWeight[it.prof.slot].Add(1)
-	}
-	homes := it.prof.homes
-	tr := it.tr
-	if tr != nil {
-		tr.Slot = it.prof.slot
-		tr.Homes = homes
-		// Allocated before the fan-out: each shard writes only its own index
-		// (ordered by its partial send), the merger reads after all partials.
-		tr.ShardNs = make([]int64, len(e.shardCh))
-	}
-	for i, ch := range e.shardCh {
-		cmd := shardCmd{it: it, removes: rids}
-		for _, h := range homes {
-			if h == i {
-				cmd.insert = true
-				break
+	if m != nil {
+		// Whole-run route cost, attributed evenly across the run; written
+		// before the fan-out so the header send publishes it.
+		per := int64(time.Since(routeStart)) / int64(len(items))
+		for i := range hdrs {
+			m.routeTime.Observe(per)
+			if tr := hdrs[i].tr; tr != nil {
+				tr.RouteNs = per
 			}
 		}
-		select {
-		case ch <- cmd:
-		case <-e.ctx.Done():
-			return false
-		}
 	}
-	hdr := header{seq: it.seq, rid: it.rec.RID, expired: rids}
-	if m != nil {
-		d := time.Since(routeStart)
-		m.routeTime.Observe(int64(d))
-		if tr != nil {
-			tr.RouteNs = int64(d)
-			hdr.tr = tr
+	for i, ch := range e.shardCh {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		select {
+		case ch <- shardCmd{items: batches[i]}:
+			batches[i] = nil
+		case <-e.ctx.Done():
+			e.headersPool.put(hdrs)
+			return false
 		}
 	}
 	select {
-	case e.hdrCh <- hdr:
+	case e.hdrCh <- hdrs:
 	case <-e.ctx.Done():
 		return false
 	}

@@ -9,50 +9,28 @@ import (
 	"terids/internal/metrics"
 )
 
-// reorder releases values in strict sequence order starting at 0, buffering
-// out-of-order arrivals. The buffer is bounded in practice by the number of
-// items in flight upstream (channel capacities + worker count).
-type reorder[T any] struct {
-	next int64
-	buf  map[int64]T
-}
-
-// add offers (seq, v); emit is called zero or more times, always in
-// sequence order.
-func (r *reorder[T]) add(seq int64, v T, emit func(T)) {
-	if seq != r.next {
-		if r.buf == nil {
-			r.buf = make(map[int64]T)
-		}
-		r.buf[seq] = v
-		return
-	}
-	emit(v)
-	r.next++
-	for {
-		w, ok := r.buf[r.next]
-		if !ok {
-			return
-		}
-		delete(r.buf, r.next)
-		emit(w)
-		r.next++
-	}
-}
-
-// pending accumulates one arrival's header and its K shard partials.
+// pending accumulates one arrival's header and its K shard partials. pending
+// values are recycled through the merger's local freelist; reset clears one
+// for reuse keeping its pairs capacity.
 type pending struct {
-	hdr   *header
-	pairs []shardPair
-	got   int
+	hdr    header
+	hasHdr bool
+	pairs  []shardPair
+	got    int
 	// arrived is when the first piece for this sequence reached the merger
 	// (zero when instrumentation is off) — the reorder-buffer hold clock.
 	arrived time.Time
 }
 
+func (p *pending) reset() {
+	pairs := p.pairs[:0]
+	*p = pending{pairs: pairs}
+}
+
 // merger joins the K partial result slices per arrival, restores submission
 // order, dedups broadcast-resident candidates, and maintains the live
-// entity set — the single writer of e.results.
+// entity set — the single writer of e.results. Intake is batched: one
+// receive absorbs a routed run's headers or one shard's multi-entry partial.
 func (e *Engine) merger() {
 	defer e.mergeWG.Done()
 	// A Checkpoint barrier may be waiting on the drain condition when the
@@ -64,52 +42,72 @@ func (e *Engine) merger() {
 		e.drained.Broadcast()
 		e.resultsMu.Unlock()
 	}()
-	pend := make(map[int64]*pending)
-	next := e.startSeq
+	win := seqWindow[*pending]{next: e.startSeq}
+	// free recycles pending accumulators (merger-local, so no lock).
+	var free []*pending
 	get := func(seq int64) *pending {
-		p, ok := pend[seq]
-		if !ok {
-			p = &pending{}
-			if e.met != nil {
-				p.arrived = time.Now()
-			}
-			pend[seq] = p
+		if p, ok := win.get(seq); ok {
+			return p
 		}
+		var p *pending
+		if n := len(free); n > 0 {
+			p = free[n-1]
+			free[n-1] = nil
+			free = free[:n-1]
+		} else {
+			p = &pending{}
+		}
+		if e.met != nil {
+			p.arrived = time.Now()
+		}
+		win.put(seq, p)
 		return p
 	}
 	hdrCh, parts := e.hdrCh, e.partials
 	for hdrCh != nil || parts != nil {
 		select {
-		case h, ok := <-hdrCh:
+		case hs, ok := <-hdrCh:
 			if !ok {
 				hdrCh = nil
 				continue
 			}
-			p := get(h.seq)
-			hc := h
-			p.hdr = &hc
+			for i := range hs {
+				p := get(hs[i].seq)
+				p.hdr = hs[i]
+				p.hasHdr = true
+			}
+			e.headersPool.put(hs)
 		case pt, ok := <-parts:
 			if !ok {
 				parts = nil
 				continue
 			}
-			p := get(pt.seq)
-			p.pairs = append(p.pairs, pt.pairs...)
-			p.got++
+			for i := range pt.entries {
+				en := &pt.entries[i]
+				p := get(en.seq)
+				p.pairs = append(p.pairs, en.pairs...)
+				p.got++
+				e.shardPairsPool.put(en.pairs)
+			}
+			e.partEntriesPool.put(pt.entries)
 		case <-e.ctx.Done():
 			return
 		}
 		for {
-			p, ok := pend[next]
-			if !ok || p.hdr == nil || (!p.hdr.skip && p.got < e.cfg.Shards) {
+			p, ok := win.peekNext()
+			if !ok || !p.hasHdr || (!p.hdr.skip && p.got < e.cfg.Shards) {
 				break
 			}
-			delete(pend, next)
+			win.popNext()
 			e.finalize(p)
-			next++
+			// finalize happens-after every shard's partial send for this
+			// seq, so nothing can still be reading the item wrapper.
+			e.itemPool.put(p.hdr.it)
+			p.reset()
+			free = append(free, p)
 		}
 		if m := e.met; m != nil {
-			m.mergePending.Set(float64(len(pend)))
+			m.mergePending.Set(float64(win.len()))
 		}
 	}
 }

@@ -69,6 +69,7 @@ type engineMetrics struct {
 	mergePending   *obs.Gauge
 	walWait        *obs.Histogram
 	rebalancePause *obs.Histogram
+	batchEntries   *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -94,6 +95,18 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 			"Submitter-observed WAL group-commit wait, reservation to durable.", nil),
 		rebalancePause: reg.Histogram("terids_rebalance_pause_seconds",
 			"Online rebalance pause: barrier drain to pipeline resume.", nil),
+		batchEntries: reg.SizeHistogram("terids_submit_batch_entries",
+			"Arrivals per accepted submission batch (1 = single Submit).", nil),
+	}
+}
+
+// poolStats builds the hit/miss counter pair for one named hot-path pool.
+func (m *engineMetrics) poolStats(name string) poolStats {
+	return poolStats{
+		hits: m.reg.Counter("terids_pool_hits_total",
+			"Hot-path pool gets served from the pool.", obs.Labels{"pool": name}),
+		misses: m.reg.Counter("terids_pool_misses_total",
+			"Hot-path pool gets that fell through to a fresh allocation.", obs.Labels{"pool": name}),
 	}
 }
 

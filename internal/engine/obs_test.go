@@ -148,3 +148,49 @@ func TestEngineObsOff(t *testing.T) {
 		t.Fatalf("completed %d, want 50", st.Completed)
 	}
 }
+
+// TestBatchAndPoolMetrics: batched submission publishes the batch-size
+// histogram and the hot-path pools publish hit/miss counters — the /metrics
+// view of batch efficacy.
+func TestBatchAndPoolMetrics(t *testing.T) {
+	f := loadFixture(t)
+	reg := obs.NewRegistry()
+	eng, err := New(f.sh, Config{Core: f.cfg, Shards: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bs = 32
+	nBatches := uint64(0)
+	for off := 0; off < len(f.stream); off += bs {
+		end := off + bs
+		if end > len(f.stream) {
+			end = len(f.stream)
+		}
+		if err := eng.SubmitBatch(f.stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		nBatches++
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := reg.SizeHistogram("terids_submit_batch_entries", "", nil)
+	if h.Count() != nBatches {
+		t.Fatalf("batch histogram has %d samples, want %d", h.Count(), nBatches)
+	}
+	if got, want := h.Sum(), int64(len(f.stream)); got != want {
+		t.Fatalf("batch histogram sum %v, want %v (every arrival counted once)", got, want)
+	}
+	var hits, misses int64
+	for _, pool := range []string{"item", "item_chunk", "shard_batch", "header_batch", "partial_batch", "shard_pairs"} {
+		hits += reg.Counter("terids_pool_hits_total", "", obs.Labels{"pool": pool}).Value()
+		misses += reg.Counter("terids_pool_misses_total", "", obs.Labels{"pool": pool}).Value()
+	}
+	if misses == 0 {
+		t.Fatal("pools recorded no misses; cold-start gets must miss")
+	}
+	if hits == 0 {
+		t.Fatal("pools recorded no hits over a multi-batch run; recycling is not happening")
+	}
+}

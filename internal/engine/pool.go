@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"sync"
+
+	"terids/internal/obs"
+)
+
+// Hot-path object reuse. The pipeline moves three kinds of transient
+// allocations per arrival — the item wrapper, the per-batch carrier slices,
+// and the per-shard pair buffers — and all of them have a single, well-defined
+// ownership hand-off: the stage that receives a pooled object over a channel
+// owns it and is the one that returns it. The rules, stage by stage:
+//
+//   - *item: allocated by submitBatch, travels impute → router → shards (via
+//     shardCmd) and merger (via header.it). The merger recycles it at
+//     finalize, which happens-after every shard's partial send, so no stage
+//     can still be reading it. Rejected duplicates never reach the shards
+//     and recycle the same way. The tuple.Record inside is NOT pooled: the
+//     caller owns it until Submit returns, the engine (windows/grids) owns
+//     it afterwards.
+//   - []*item chunks: submitBatch → impute worker → router, recycled by the
+//     router once drained into its reorder window.
+//   - []shardItem: router → one shard, recycled by that shard after its
+//     partial send is prepared.
+//   - []header: router → merger, recycled after the headers are absorbed.
+//   - []partialEntry and []shardPair: shard → merger, recycled after the
+//     pairs are copied into the pending accumulator.
+//
+// A stage that exits early (pipeline failure) simply drops what it holds to
+// the GC — pools are an optimization, never a correctness dependency.
+
+// poolStats counts pool effectiveness; nil counters (ObsOff) are skipped.
+type poolStats struct {
+	hits, misses *obs.Counter
+}
+
+func (s poolStats) hit() {
+	if s.hits != nil {
+		s.hits.Inc()
+	}
+}
+
+func (s poolStats) miss() {
+	if s.misses != nil {
+		s.misses.Inc()
+	}
+}
+
+// itemPool recycles *item wrappers through a sync.Pool (pointer values,
+// so Put never boxes).
+type itemPool struct {
+	p  sync.Pool
+	st poolStats
+}
+
+func (ip *itemPool) get() *item {
+	if v := ip.p.Get(); v != nil {
+		ip.st.hit()
+		return v.(*item)
+	}
+	ip.st.miss()
+	return &item{}
+}
+
+// put zeroes the wrapper (dropping its record/profile/trace references) and
+// returns it for reuse. Callers must guarantee no stage still reads it.
+func (ip *itemPool) put(it *item) {
+	if it == nil {
+		return
+	}
+	*it = item{}
+	ip.p.Put(it)
+}
+
+// slicePool recycles carrier slices through a small mutex-guarded freelist.
+// sync.Pool would box the slice header on every Put; the freelist keeps
+// put/get allocation-free, and the lock is taken per batch, not per tuple.
+type slicePool[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+	st   poolStats
+}
+
+// slicePoolCap bounds each freelist; overflow is dropped to the GC.
+const slicePoolCap = 256
+
+func newSlicePool[T any](st poolStats) *slicePool[T] {
+	return &slicePool[T]{free: make([][]T, 0, slicePoolCap), st: st}
+}
+
+func (p *slicePool[T]) get(capHint int) []T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.st.hit()
+		return s
+	}
+	p.mu.Unlock()
+	p.st.miss()
+	if capHint < 8 {
+		capHint = 8
+	}
+	return make([]T, 0, capHint)
+}
+
+// put clears the slice (dropping element references) and shelves it.
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	s = s[:0]
+	p.mu.Lock()
+	if len(p.free) < slicePoolCap {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
+}

@@ -414,10 +414,14 @@ func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
 
 	e.cfg.Shards = l.K
 	e.layout = l.Slots
-	e.imputeIn = make(chan *item, e.cfg.QueueDepth)
-	e.imputedOut = make(chan *item, e.cfg.QueueDepth)
-	e.hdrCh = make(chan header, e.cfg.QueueDepth)
+	// Interned home tables are per-K; rebuild them before loadResidents
+	// re-homes the checkpointed residents.
+	e.internHomes()
+	e.imputeIn = make(chan []*item, e.cfg.QueueDepth)
+	e.imputedOut = make(chan []*item, e.cfg.QueueDepth)
+	e.hdrCh = make(chan []header, e.cfg.QueueDepth)
 	e.partials = make(chan partial, e.cfg.QueueDepth*l.K)
+	e.shardScratch = make([][]shardItem, l.K)
 	e.timeWins, e.windows = timeWins, windows
 	e.live = make(map[string]int)
 	for i := range e.slotWeight {

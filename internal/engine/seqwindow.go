@@ -1,0 +1,93 @@
+package engine
+
+// seqWindow is an order-restoring buffer over a contiguous sequence space:
+// values arrive at arbitrary seq >= next and leave in strict sequence order.
+// It replaces the per-arrival map insert/delete churn the router and merger
+// hot loops used to pay with a growable power-of-two ring indexed by
+// seq — steady state touches only a slot store and a slot clear, and the
+// backing arrays are reused for the life of the pipeline. The occupied span
+// is bounded in practice by the items in flight upstream (channel capacities
+// plus worker count); the ring grows geometrically on the rare overshoot and
+// never shrinks.
+type seqWindow[T any] struct {
+	next int64
+	buf  []T
+	occ  []bool
+	n    int
+}
+
+// slot maps seq into the ring. len(buf) is always a power of two.
+func (w *seqWindow[T]) slot(seq int64) int { return int(seq & int64(len(w.buf)-1)) }
+
+// ensure grows the ring until seq's offset from next fits.
+func (w *seqWindow[T]) ensure(seq int64) {
+	off := seq - w.next
+	if len(w.buf) > 0 && off < int64(len(w.buf)) {
+		return
+	}
+	sz := len(w.buf) * 2
+	if sz < 16 {
+		sz = 16
+	}
+	for int64(sz) <= off {
+		sz *= 2
+	}
+	nb := make([]T, sz)
+	no := make([]bool, sz)
+	for o := 0; o < len(w.buf); o++ {
+		s := w.next + int64(o)
+		if i := w.slot(s); w.occ[i] {
+			j := int(s & int64(sz-1))
+			nb[j], no[j] = w.buf[i], true
+		}
+	}
+	w.buf, w.occ = nb, no
+}
+
+// put stores v at seq (seq must be >= next; storing twice overwrites).
+func (w *seqWindow[T]) put(seq int64, v T) {
+	w.ensure(seq)
+	i := w.slot(seq)
+	if !w.occ[i] {
+		w.n++
+	}
+	w.buf[i], w.occ[i] = v, true
+}
+
+// get returns the value stored at seq, if any.
+func (w *seqWindow[T]) get(seq int64) (T, bool) {
+	var zero T
+	if len(w.buf) == 0 {
+		return zero, false
+	}
+	if off := seq - w.next; off < 0 || off >= int64(len(w.buf)) {
+		return zero, false
+	}
+	i := w.slot(seq)
+	if !w.occ[i] {
+		return zero, false
+	}
+	return w.buf[i], true
+}
+
+// peekNext returns the value at the release frontier without removing it.
+func (w *seqWindow[T]) peekNext() (T, bool) { return w.get(w.next) }
+
+// popNext removes and returns the value at the release frontier, advancing
+// it. ok is false while the frontier's value has not arrived.
+func (w *seqWindow[T]) popNext() (T, bool) {
+	v, ok := w.get(w.next)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	i := w.slot(w.next)
+	var zero T
+	w.buf[i], w.occ[i] = zero, false
+	w.n--
+	w.next++
+	return v, true
+}
+
+// len reports how many out-of-order values are currently buffered.
+func (w *seqWindow[T]) len() int { return w.n }

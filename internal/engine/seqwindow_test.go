@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSeqWindowReleasesInOrder: values offered in an arbitrary permutation
+// come back in strict sequence order, across ring growth and a non-zero
+// starting sequence.
+func TestSeqWindowReleasesInOrder(t *testing.T) {
+	const start, n = 1000, 500
+	w := seqWindow[int64]{next: start}
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	released := make([]int64, 0, n)
+	for _, p := range perm {
+		seq := start + int64(p)
+		w.put(seq, seq)
+		for {
+			v, ok := w.popNext()
+			if !ok {
+				break
+			}
+			released = append(released, v)
+		}
+	}
+	if len(released) != n {
+		t.Fatalf("released %d values, want %d", len(released), n)
+	}
+	for i, v := range released {
+		if v != start+int64(i) {
+			t.Fatalf("release %d: got seq %d, want %d", i, v, start+int64(i))
+		}
+	}
+	if w.len() != 0 {
+		t.Fatalf("window still holds %d values after full drain", w.len())
+	}
+}
+
+// TestSeqWindowSparseGrowth: a far-ahead seq forces the ring to grow while
+// occupied slots relocate correctly, and peekNext never consumes.
+func TestSeqWindowSparseGrowth(t *testing.T) {
+	var w seqWindow[string]
+	w.put(3, "c")
+	w.put(200, "far") // growth with slot 3 occupied
+	if _, ok := w.peekNext(); ok {
+		t.Fatal("peekNext returned a value before seq 0 arrived")
+	}
+	w.put(1, "b")
+	w.put(0, "a")
+	if v, ok := w.peekNext(); !ok || v != "a" {
+		t.Fatalf("peekNext = %q,%v; want \"a\",true", v, ok)
+	}
+	if v, ok := w.popNext(); !ok || v != "a" {
+		t.Fatalf("popNext = %q,%v; want \"a\",true", v, ok)
+	}
+	if v, ok := w.popNext(); !ok || v != "b" {
+		t.Fatalf("popNext = %q,%v; want \"b\",true", v, ok)
+	}
+	if _, ok := w.popNext(); ok {
+		t.Fatal("popNext released past the missing seq 2")
+	}
+	w.put(2, "mid")
+	for _, want := range []string{"mid", "c"} {
+		if v, ok := w.popNext(); !ok || v != want {
+			t.Fatalf("popNext = %q,%v; want %q,true", v, ok, want)
+		}
+	}
+	if _, ok := w.get(200); !ok {
+		t.Fatal("far value lost across growth")
+	}
+	if w.len() != 1 {
+		t.Fatalf("len = %d, want 1 (only the far value)", w.len())
+	}
+}

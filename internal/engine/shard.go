@@ -9,13 +9,20 @@ import (
 	"terids/internal/obs"
 )
 
-// shardCmd is one arrival's work for one shard, delivered in submission
-// order over the shard's FIFO channel: evict the expired residents, resolve
-// the query against the local partition, then (for home shards) insert it.
-type shardCmd struct {
+// shardItem is one arrival's work for one shard: evict the expired
+// residents, resolve the query against the local partition, then (for home
+// shards) insert it.
+type shardItem struct {
 	it      *item
 	removes []string
 	insert  bool
+}
+
+// shardCmd is one routed batch's work for one shard, delivered in submission
+// order over the shard's FIFO channel — N arrivals per channel receive. The
+// items slice is pooled; the receiving shard recycles it.
+type shardCmd struct {
+	items []shardItem
 }
 
 // shardPair is one emitted pair tagged with the candidate's global arrival
@@ -25,10 +32,17 @@ type shardPair struct {
 	candSeq int64
 }
 
-// partial is one shard's result slice for one arrival.
-type partial struct {
+// partialEntry is one shard's result slice for one arrival.
+type partialEntry struct {
 	seq   int64
 	pairs []shardPair
+}
+
+// partial is one shard's answer for one batch — one channel send per
+// shardCmd, matching the batched fan-out. Both slices are pooled; the merger
+// recycles them.
+type partial struct {
+	entries []partialEntry
 }
 
 // shard is one worker goroutine's state: a grid partition plus the global
@@ -64,52 +78,58 @@ func newShard(id int, e *Engine, g *grid.Grid) *shard {
 }
 
 // run processes the shard's command stream until it closes or the engine
-// fails. All grid state is confined to this goroutine.
+// fails. All grid state is confined to this goroutine. Each command carries a
+// batch of arrivals; the shard answers with one multi-entry partial.
 func (s *shard) run() {
 	defer s.e.shardWG.Done()
 	step := s.e.step
 	for cmd := range s.e.shardCh[s.id] {
-		var ps metrics.PruneStats
-		var sw metrics.Stopwatch
-		sw.Start()
-		for _, rid := range cmd.removes {
-			if s.grid.Remove(rid) {
-				delete(s.seqOf, rid)
-				s.residents.Add(-1)
+		entries := s.e.partEntriesPool.get(len(cmd.items))
+		for _, ci := range cmd.items {
+			var ps metrics.PruneStats
+			var sw metrics.Stopwatch
+			sw.Start()
+			for _, rid := range ci.removes {
+				if s.grid.Remove(rid) {
+					delete(s.seqOf, rid)
+					s.residents.Add(-1)
+				}
 			}
-		}
-		q := cmd.it.prof.prof
-		pairs := step.Resolve(s.grid, q, &ps)
-		out := make([]shardPair, 0, len(pairs))
-		qRID := cmd.it.rec.RID
-		for _, p := range pairs {
-			cand := p.A.RID
-			if cand == qRID {
-				cand = p.B.RID
+			q := ci.it.prof.prof
+			pairs := step.Resolve(s.grid, q, &ps)
+			out := s.e.shardPairsPool.get(len(pairs))
+			qRID := ci.it.rec.RID
+			for _, p := range pairs {
+				cand := p.A.RID
+				if cand == qRID {
+					cand = p.B.RID
+				}
+				out = append(out, shardPair{pair: p, candSeq: s.seqOf[cand]})
 			}
-			out = append(out, shardPair{pair: p, candSeq: s.seqOf[cand]})
-		}
-		if cmd.insert {
-			if err := s.grid.Insert(&grid.Entry{Rec: cmd.it.rec, Prof: q}); err != nil {
-				s.e.fail(err)
-				return
+			if ci.insert {
+				if err := s.grid.Insert(&grid.Entry{Rec: ci.it.rec, Prof: q}); err != nil {
+					s.e.fail(err)
+					return
+				}
+				s.seqOf[qRID] = ci.it.seq
+				s.residents.Add(1)
+				s.inserts.Add(1)
 			}
-			s.seqOf[qRID] = cmd.it.seq
-			s.residents.Add(1)
-			s.inserts.Add(1)
+			er := sw.Lap()
+			s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: er}, Prune: ps})
+			s.resolved.Add(1)
+			s.erTime.Add(int64(er))
+			if s.met != nil {
+				s.met.Observe(int64(er))
+			}
+			if tr := ci.it.tr; tr != nil && tr.ShardNs != nil {
+				tr.ShardNs[s.id] = int64(er)
+			}
+			entries = append(entries, partialEntry{seq: ci.it.seq, pairs: out})
 		}
-		er := sw.Lap()
-		s.e.acc.Add(metrics.Totals{Breakdown: metrics.Breakdown{ER: er}, Prune: ps})
-		s.resolved.Add(1)
-		s.erTime.Add(int64(er))
-		if s.met != nil {
-			s.met.Observe(int64(er))
-		}
-		if tr := cmd.it.tr; tr != nil && tr.ShardNs != nil {
-			tr.ShardNs[s.id] = int64(er)
-		}
+		s.e.shardItemsPool.put(cmd.items)
 		select {
-		case s.e.partials <- partial{seq: cmd.it.seq, pairs: out}:
+		case s.e.partials <- partial{entries: entries}:
 		case <-s.e.ctx.Done():
 			return
 		}

@@ -59,13 +59,31 @@ func keywordMass(im *tuple.Imputed, kw string) float64 {
 	return m
 }
 
+// internHomes (re)builds the interned home-shard tables for the current
+// shard count: homeSingle[sh] is the shared single-home slice for shard sh,
+// homeAll the shared broadcast slice. homeShards returns these directly, so
+// repeated topics stop allocating per arrival; every consumer treats them as
+// read-only. Called from newEngine and from rebuild (before residents are
+// re-homed), never concurrently with the pipeline.
+func (e *Engine) internHomes() {
+	k := e.cfg.Shards
+	e.homeSingle = make([][]int, k)
+	for i := 0; i < k; i++ {
+		e.homeSingle[i] = []int{i}
+	}
+	e.homeAll = make([]int, k)
+	for i := range e.homeAll {
+		e.homeAll[i] = i
+	}
+}
+
 // homeShards picks the grid partitions an arrival resides in, plus the
 // layout slot its residency is charged to (-1 for broadcast residents, whose
-// placement the rebalancer cannot move). Called from impute workers and the
-// restore path only — never concurrently with a layout swap, because the
-// pipeline is stopped at the rebalance barrier.
+// placement the rebalancer cannot move). The returned slice aliases the
+// engine's interned tables and must never be mutated. Called from impute
+// workers and the restore path only — never concurrently with a layout swap,
+// because the pipeline is stopped at the rebalance barrier.
 func (e *Engine) homeShards(prof *prune.Profile) (homes []int, slot int) {
-	k := e.cfg.Shards
 	kws := e.step.Shared().Keywords
 	var best, second float64
 	bestKW, secondKW := -1, -1
@@ -85,18 +103,14 @@ func (e *Engine) homeShards(prof *prune.Profile) (homes []int, slot int) {
 	if bestKW < 0 {
 		// Topic-neutral tuple: uniform spread by RID.
 		s := slotOf(prof.Im.R.RID)
-		return []int{e.layout[s]}, s
+		return e.homeSingle[e.layout[s]], s
 	}
-	s1 := slotOf(kws[bestKW])
+	s1 := e.kwSlots[bestKW]
 	if secondKW >= 0 && second >= straddleRatio*best {
-		if s2 := slotOf(kws[secondKW]); e.layout[s2] != e.layout[s1] {
+		if s2 := e.kwSlots[secondKW]; e.layout[s2] != e.layout[s1] {
 			// Straddles shards: broadcast residency.
-			all := make([]int, k)
-			for i := range all {
-				all[i] = i
-			}
-			return all, -1
+			return e.homeAll, -1
 		}
 	}
-	return []int{e.layout[s1]}, s1
+	return e.homeSingle[e.layout[s1]], s1
 }

@@ -1,0 +1,91 @@
+package tuple
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestInternerMatchesNewRecord: the interned constructor is observationally
+// identical to package NewRecord — same values, missing flags, and token
+// sets — while repeated values share one token-set backing array.
+func TestInternerMatchesNewRecord(t *testing.T) {
+	sc, err := NewSchema("Title", "Venue", "Year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterner(0)
+
+	rows := [][]string{
+		{"deep entity matching", "SIGMOD Conference", "2021"},
+		{"streaming joins", "SIGMOD Conference", ""},
+		{"deep entity matching", Missing, "2021"},
+	}
+	var first *Record
+	for i, vals := range rows {
+		rid := fmt.Sprintf("r%d", i)
+		want, err := NewRecord(sc, rid, 0, int64(i), vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.NewRecord(sc, rid, 0, int64(i), vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RID != want.RID || got.MissingCount() != want.MissingCount() {
+			t.Fatalf("row %d: rid/missing diverge: %v vs %v", i, got, want)
+		}
+		for j := 0; j < sc.D(); j++ {
+			if got.Value(j) != want.Value(j) {
+				t.Fatalf("row %d attr %d: value %q, want %q", i, j, got.Value(j), want.Value(j))
+			}
+			if !reflect.DeepEqual(got.Tokens(j), want.Tokens(j)) {
+				t.Fatalf("row %d attr %d: tokens %v, want %v", i, j, got.Tokens(j), want.Tokens(j))
+			}
+		}
+		if i == 0 {
+			first = got
+		}
+		if i == 2 {
+			// "deep entity matching" (rows 0 and 2) must share one token set.
+			a, b := first.Tokens(0), got.Tokens(0)
+			if len(a) == 0 || &a[0] != &b[0] {
+				t.Fatal("repeated value did not share its interned token set")
+			}
+		}
+	}
+
+	// Missing / empty values never enter the cache.
+	if n := in.Len(); n != 4 {
+		t.Fatalf("cache holds %d values, want 4 distinct non-missing values", n)
+	}
+}
+
+// TestInternerCapacityClear: hitting capacity clears the cache wholesale and
+// keeps going — no error, no unbounded growth.
+func TestInternerCapacityClear(t *testing.T) {
+	sc, err := NewSchema("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterner(8)
+	for i := 0; i < 50; i++ {
+		if _, err := in.NewRecord(sc, "r", 0, int64(i), []string{fmt.Sprintf("value %d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if n := in.Len(); n > 8 {
+			t.Fatalf("cache grew to %d entries past its capacity of 8", n)
+		}
+	}
+	if in.Len() == 0 {
+		t.Fatal("cache empty after the run: clear-on-full should refill with the working set")
+	}
+
+	// Validation still mirrors NewRecord.
+	if _, err := in.NewRecord(nil, "r", 0, 0, []string{"x"}); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if _, err := in.NewRecord(sc, "r", 0, 0, []string{"x", "y"}); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}

@@ -28,16 +28,21 @@ type Record struct {
 	nMiss  int
 }
 
+var errNilSchema = fmt.Errorf("tuple: nil schema")
+
+func errValueCount(rid string, got, want int) error {
+	return fmt.Errorf("tuple: record %q has %d values, schema has %d attributes", rid, got, want)
+}
+
 // NewRecord builds a record over schema. values must have exactly schema.D()
 // entries; the Missing marker ("-") or an empty string denotes a missing
 // attribute.
 func NewRecord(schema *Schema, rid string, stream int, seq int64, values []string) (*Record, error) {
 	if schema == nil {
-		return nil, fmt.Errorf("tuple: nil schema")
+		return nil, errNilSchema
 	}
 	if len(values) != schema.D() {
-		return nil, fmt.Errorf("tuple: record %q has %d values, schema has %d attributes",
-			rid, len(values), schema.D())
+		return nil, errValueCount(rid, len(values), schema.D())
 	}
 	r := &Record{
 		RID:      rid,

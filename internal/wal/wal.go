@@ -368,6 +368,69 @@ func (l *Log) Reserve(e Entry, block bool) (Ticket, error) {
 	return Ticket{f: l.cur}, nil
 }
 
+// ReserveN claims slots for a whole batch of entries under one lock
+// acquisition and returns a single ticket covering all of them — the batched
+// counterpart of Reserve that Engine.SubmitBatch amortizes its WAL
+// reservation through. The entries must be in ascending, gap-free sequence
+// order. A leading run of already-durable sequences is skipped entry by
+// entry (so recovery replay through the batched submission path stays
+// idempotent); the remainder must then continue exactly at the log's next
+// sequence. All accepted entries join the same pending flush and share one
+// write+fsync; a batch may overrun QueueDepth by up to its own length
+// (blocking waits only for the current flush to have any room at all), which
+// keeps a batch atomic within one group commit. With block=false a full
+// queue returns ErrFull before anything is appended.
+func (l *Log) ReserveN(entries []Entry, block bool) (Ticket, error) {
+	if len(entries) == 0 {
+		return Ticket{}, nil
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq != entries[i-1].Seq+1 {
+			return Ticket{}, fmt.Errorf("wal: batch entries out of order: seq %d follows %d",
+				entries[i].Seq, entries[i-1].Seq)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for {
+		if l.closed {
+			return Ticket{}, ErrClosed
+		}
+		if l.err != nil {
+			return Ticket{}, l.err
+		}
+		for i < len(entries) && l.next >= 0 && entries[i].Seq < l.next {
+			i++ // already reserved or durable: idempotent replay no-op
+		}
+		if i == len(entries) {
+			return Ticket{}, nil
+		}
+		if l.next >= 0 && entries[i].Seq > l.next {
+			return Ticket{}, fmt.Errorf("wal: append seq %d leaves a gap (next is %d)", entries[i].Seq, l.next)
+		}
+		if l.cur == nil || len(l.cur.entries) < l.opts.QueueDepth {
+			break
+		}
+		if !block {
+			return Ticket{}, ErrFull
+		}
+		l.notFull.Wait()
+	}
+	if l.cur == nil {
+		l.cur = &flush{done: make(chan struct{})}
+	}
+	if l.next < 0 {
+		// First entry of an empty log fixes the starting sequence and the
+		// durable frontier (nothing older exists).
+		l.durable = entries[i].Seq
+	}
+	l.cur.entries = append(l.cur.entries, entries[i:]...)
+	l.next = entries[len(entries)-1].Seq + 1
+	l.notEmpty.Signal()
+	return Ticket{f: l.cur}, nil
+}
+
 // Append reserves e and waits for durability — the blocking convenience
 // wrapper around Reserve.
 func (l *Log) Append(e Entry) error {

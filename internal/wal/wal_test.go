@@ -342,3 +342,146 @@ func TestEntryCodecEdgeCases(t *testing.T) {
 		t.Fatal("trailing bytes must fail to decode")
 	}
 }
+
+// batchEntries builds the ascending batch [from, from+n).
+func batchEntries(from, n int64) []Entry {
+	out := make([]Entry, 0, n)
+	for seq := from; seq < from+n; seq++ {
+		out = append(out, testEntry(seq))
+	}
+	return out
+}
+
+// TestReserveN: a batch shares one ticket, lands durably in order, and the
+// already-durable prefix of a replayed batch is skipped idempotently.
+func TestReserveN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := l.ReserveN(batchEntries(0, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.NextSeq != 10 || st.DurableSeq != 10 {
+		t.Fatalf("stats after batch: %+v", st)
+	}
+
+	// Overlapping re-submission (recovery replay): the durable prefix [0,10)
+	// is skipped, [10,15) is appended.
+	tk, err = l.ReserveN(batchEntries(5, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// A fully-durable batch is a ready-ticket no-op.
+	tk, err = l.ReserveN(batchEntries(0, 15), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.NextSeq != 15 {
+		t.Fatalf("NextSeq %d after overlap replays, want 15", st.NextSeq)
+	}
+
+	// Gaps fail up front: within the batch and against the log frontier.
+	if _, err := l.ReserveN([]Entry{testEntry(15), testEntry(17)}, true); err == nil {
+		t.Fatal("batch with an internal gap must fail")
+	}
+	if _, err := l.ReserveN(batchEntries(20, 3), true); err == nil {
+		t.Fatal("batch leaving a gap after the frontier must fail")
+	}
+	if tk, err := l.ReserveN(nil, true); err != nil || tk.Wait() != nil {
+		t.Fatal("empty batch must be a ready no-op")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2, 0)
+	if len(got) != 15 {
+		t.Fatalf("replayed %d entries, want 15", len(got))
+	}
+	for i, e := range got {
+		if want := testEntry(int64(i)); !reflect.DeepEqual(e, want) {
+			t.Fatalf("entry %d: got %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+// TestReserveNFullQueue: with the committer parked and the current flush at
+// QueueDepth, a non-blocking batch gets ErrFull with nothing appended, while
+// a blocking batch waits for room and then joins one group commit whole —
+// overrunning QueueDepth by its own length rather than splitting.
+func TestReserveNFullQueue(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	l.testHookBeforeCommit = func() {
+		once.Do(func() {
+			close(entered)
+			<-gate
+		})
+	}
+	// Wake the committer with {0}; it parks in the hook. {1,2} then fill the
+	// next flush to QueueDepth.
+	t0, err := l.Reserve(testEntry(0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	t12, err := l.ReserveN(batchEntries(1, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReserveN(batchEntries(3, 4), false); !errors.Is(err, ErrFull) {
+		t.Fatalf("non-blocking batch into a full queue: %v, want ErrFull", err)
+	}
+	if st := l.Stats(); st.NextSeq != 3 {
+		t.Fatalf("rejected batch advanced the frontier: NextSeq %d, want 3", st.NextSeq)
+	}
+	// The blocking batch waits for the parked flush to drain, then joins the
+	// following flush whole.
+	done := make(chan error, 1)
+	go func() {
+		tk, err := l.ReserveN(batchEntries(3, 4), true)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- tk.Wait()
+	}()
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range []Ticket{t0, t12} {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.DurableSeq != 7 || st.NextSeq != 7 {
+		t.Fatalf("stats after blocking batch: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_baseline.json, the committed floor for the CI benchmark
+# regression gate (cmd/benchgate). Run this — and commit the result — when a
+# PR intentionally shifts engine latency, so the gate tracks the new floor
+# instead of failing every subsequent build.
+#
+# The gate normalizes by ProcessorBaseline, so the baseline does not need to
+# be produced on CI-class hardware — any quiet machine works.
+set -eu
+cd "$(dirname "$0")/.."
+go test -run xxx -bench 'ProcessorBaseline|EngineShards|SubmitBatch' \
+	-benchtime 3x -count 3 -timeout 30m . | tee /tmp/bench_baseline.txt
+go run ./cmd/benchjson < /tmp/bench_baseline.txt > BENCH_baseline.json
+echo "wrote BENCH_baseline.json"
