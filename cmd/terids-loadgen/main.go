@@ -1,0 +1,138 @@
+// Command terids-loadgen drives open-loop NDJSON ingest against a running
+// terids-serve instance and reports coordinated-omission-safe latency.
+//
+// The schedule is either one constant-rate phase (-rate + -duration) or a
+// stepped ramp (-ramp "200:10s,400:10s"). Every arrival's intended start
+// time comes from the schedule alone; workers record completion minus
+// intended, so server stalls surface as queueing latency instead of being
+// silently omitted. A mixed read load rides along: -followers live
+// /results tails and, with -replay-every, periodic /results?from=0 cursor
+// reads that exercise the replay ring (and deep replay on a durable server).
+//
+// The run summary — achieved rate, p50/p95/p99/p999, error and 429 counts,
+// per-phase breakdown — is written to -out (LOADGEN.json). With -check, the
+// process exits 1 when a threshold is violated: -check-max-p99,
+// -check-min-rate, -check-max-error-rate.
+//
+// Records are generated from the same dataset profile the server was booted
+// with, so the values fit its schema:
+//
+//	terids-loadgen -addr http://localhost:8080 -rate 500 -duration 30s \
+//	  -followers 2 -replay-every 5s -out LOADGEN.json \
+//	  -check -check-max-p99 250ms -check-min-rate 100
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"terids/internal/dataset"
+	"terids/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("terids-loadgen: ")
+
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "base URL of the terids-serve instance")
+		rate      = flag.Float64("rate", 0, "constant arrival rate in tuples/sec (with -duration; or use -ramp)")
+		duration  = flag.Duration("duration", 0, "how long to run the constant-rate phase")
+		ramp      = flag.String("ramp", "", `stepped ramp schedule "rate:duration,rate:duration,..." (overrides -rate/-duration)`)
+		workers   = flag.Int("workers", 4, "concurrent ingest connections")
+		batch     = flag.Int("batch", 32, "arrivals per POST /ingest request")
+		wait      = flag.Bool("wait", false, "use blocking ingest (?wait=1) instead of shedding 429s")
+		followers = flag.Int("followers", 0, "concurrent live /results followers")
+		replayEvy = flag.Duration("replay-every", 0, "period between /results?from=0 replay-cursor reads (0 = off)")
+		name      = flag.String("dataset", "Citations", "dataset profile generating the arrival records (must match the server)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale factor for record generation")
+		seed      = flag.Int64("seed", 99, "generation seed for the records")
+		streams   = flag.Int("streams", 2, "stream ids to spread arrivals over (must be <= the server's -streams)")
+		out       = flag.String("out", "LOADGEN.json", "report output path")
+		check     = flag.Bool("check", false, "exit 1 when a -check-* threshold is violated")
+		maxP99    = flag.Duration("check-max-p99", 0, "fail -check when the CO-safe p99 exceeds this (0 = no gate)")
+		minRate   = flag.Float64("check-min-rate", 0, "fail -check when the achieved accepted/sec is below this (0 = no gate)")
+		maxErrs   = flag.Float64("check-max-error-rate", 0, "fail -check when errors/sent exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+
+	phases, err := loadgen.ParsePhases(*rate, *duration, *ramp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := dataset.ProfileByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := dataset.Generate(prof, dataset.Options{
+		Scale: *scale, RepoRatio: 0.5, Seed: *seed,
+		MissingRate: 0.3, MissingAttrs: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := make([]loadgen.Arrival, 0, len(data.Stream))
+	for i, r := range data.Stream {
+		vals := make([]string, r.D())
+		for j := range vals {
+			vals[j] = r.Value(j)
+		}
+		records = append(records, loadgen.Arrival{
+			RID: r.RID, Stream: i % *streams, Values: vals,
+		})
+	}
+	if len(records) == 0 {
+		log.Fatal("dataset produced no stream records")
+	}
+	log.Printf("generated %d records from %s (scale %.2f)", len(records), prof.Name, *scale)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	start := time.Now()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL: *addr,
+		Phases:  phases,
+		Records: records,
+		Workers: *workers, Batch: *batch, Wait: *wait,
+		Followers: *followers, ReplayEvery: *replayEvy,
+		Logf: log.Printf,
+	})
+	if err != nil && rep.Sent == 0 {
+		log.Fatal(err)
+	}
+	if err != nil {
+		log.Printf("run interrupted after %s: %v (reporting what was measured)", time.Since(start).Round(time.Millisecond), err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sent %d (accepted %d, 429 %d, errors %d) at %.1f/s; p50 %.2fms p99 %.2fms p999 %.2fms; report at %s",
+		rep.Sent, rep.Accepted, rep.Throttled429, rep.Errors, rep.AchievedRate,
+		rep.P50NS/1e6, rep.P99NS/1e6, rep.P999NS/1e6, *out)
+
+	if *check {
+		if err := rep.Check(loadgen.Thresholds{
+			MaxP99: *maxP99, MinRate: *minRate, MaxErrorRate: *maxErrs,
+		}); err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		log.Print("thresholds satisfied")
+	}
+}

@@ -3,15 +3,19 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"terids/internal/engine"
+	"terids/internal/obs"
 )
 
 // startObsServer is startServer with trace sampling enabled and a shutdown
@@ -30,6 +34,7 @@ func startObsServer(t *testing.T, f serveFixture, shards, traceSample int) (*ser
 		t.Fatal(err)
 	}
 	srv.eng = eng
+	srv.ready.Store(true)
 	ts := httptest.NewServer(srv.routes())
 	var once sync.Once
 	shut := func() { once.Do(func() { close(srv.done) }) }
@@ -143,19 +148,31 @@ func TestServeTraceEndpoint(t *testing.T) {
 }
 
 // TestServeHealthReadiness walks the lifecycle: readiness gates on startup
-// completing, both probes flip to 503 on shutdown.
+// completing (with the startup phase as the 503 body), engine-backed
+// endpoints are gated the same way, and both probes flip to 503 on shutdown.
 func TestServeHealthReadiness(t *testing.T) {
 	f := loadServeFixture(t)
 	srv, ts, shut := startObsServer(t, f, 1, 0)
+	srv.ready.Store(false) // rewind the helper: pre-attach startup state
 
 	if resp, body := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("healthz before ready: %d %q, want 200 ok", resp.StatusCode, body)
 	}
 	// Readiness is withheld until main finishes recovery and flips the bit —
-	// liveness is not.
-	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("readyz before ready: %d, want 503", resp.StatusCode)
+	// liveness is not — and the 503 body names the phase.
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz before ready: %d %q, want 503 starting", resp.StatusCode, body)
 	}
+	srv.readyReason.Store("recovering")
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "recovering") {
+		t.Fatalf("readyz while recovering: %d %q, want 503 recovering", resp.StatusCode, body)
+	}
+	// Engine-backed endpoints are readiness-gated with the same reason, so a
+	// listener that is up before the engine exists never dereferences it.
+	if resp, body := get(t, ts.URL+"/stats"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "recovering") {
+		t.Fatalf("stats while recovering: %d %q, want 503 recovering", resp.StatusCode, body)
+	}
+	srv.readyReason.Store("")
 	srv.ready.Store(true)
 	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
 		t.Fatalf("readyz after ready: %d %q, want 200 ready", resp.StatusCode, body)
@@ -191,4 +208,293 @@ func TestServeStatsSchemaStable(t *testing.T) {
 	if !ok || dr != 0 {
 		t.Fatalf("replay.deep_replays = %v, want 0 without -wal-dir", replay["deep_replays"])
 	}
+}
+
+// decodeEvents parses an /events NDJSON body.
+func decodeEvents(t *testing.T, body string) []obs.Event {
+	t.Helper()
+	var out []obs.Event
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestServeEventsEndpoint: lifecycle events (here: an admin rebalance) land
+// in the journal and stream back from /events as NDJSON, with ?from= cursors
+// and malformed-cursor rejection.
+func TestServeEventsEndpoint(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts := startServer(t, f, 2, 256, nil)
+	ingest(t, ts, f.stream[:60])
+
+	resp, err := http.Post(ts.URL+"/rebalance?shards=4", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /rebalance: status %d", resp.StatusCode)
+	}
+
+	eresp, body := get(t, ts.URL+"/events")
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("/events status %d", eresp.StatusCode)
+	}
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/events content type %q", ct)
+	}
+	events := decodeEvents(t, body)
+	if len(events) == 0 {
+		t.Fatal("/events returned no events after a rebalance")
+	}
+	var start, done *obs.Event
+	for i := range events {
+		ev := &events[i]
+		if ev.Type == "rebalance_start" && start == nil {
+			start = ev
+		}
+		if ev.Type == "rebalance_done" {
+			done = ev
+		}
+	}
+	if start == nil || done == nil {
+		t.Fatalf("events missing rebalance_start/rebalance_done:\n%s", body)
+	}
+	if trig, _ := start.Fields["trigger"].(string); trig != "manual" {
+		t.Fatalf("rebalance_start trigger %v, want manual", start.Fields["trigger"])
+	}
+	if done.Fields["k_to"].(float64) != 4 {
+		t.Fatalf("rebalance_done k_to %v, want 4", done.Fields["k_to"])
+	}
+
+	// Cursor: resuming from the last event's seq returns exactly that suffix.
+	last := events[len(events)-1].Seq
+	_, tail := get(t, fmt.Sprintf("%s/events?from=%d", ts.URL, last))
+	tailEvents := decodeEvents(t, tail)
+	if len(tailEvents) < 1 || tailEvents[0].Seq != last {
+		t.Fatalf("/events?from=%d starts at %v, want %d", last, tailEvents, last)
+	}
+	if bad, _ := get(t, ts.URL+"/events?from=abc"); bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/events?from=abc status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestServeSLOEndpointBreach wires a deliberately impossible latency
+// objective into the server: after one evaluation tick over real ingest
+// latencies the objective reports breach on /slo, and the ok→breach
+// transition is in the journal (and so on /events).
+func TestServeSLOEndpointBreach(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts, _ := startObsServer(t, f, 2, 0)
+	ingest(t, ts, f.stream[:60])
+
+	obj, err := obs.ParseSLO("serve-ingest-lat:terids_impute_seconds:p99<1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := obs.NewSLOEngine(srv.reg, srv.jr, []obs.Objective{obj},
+		time.Second, 10*time.Second, time.Minute)
+	srv.slo = slo
+	slo.Tick(time.Now())
+
+	resp, body := get(t, ts.URL+"/slo")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo status %d", resp.StatusCode)
+	}
+	var out struct {
+		Objectives []obs.SLOStatus `json:"objectives"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/slo not JSON: %v\n%s", err, body)
+	}
+	var st *obs.SLOStatus
+	for i := range out.Objectives {
+		if out.Objectives[i].Objective == "serve-ingest-lat" {
+			st = &out.Objectives[i]
+		}
+	}
+	if st == nil {
+		t.Fatalf("/slo missing serve-ingest-lat: %s", body)
+	}
+	if st.State != "breach" || st.BurnRateFast < 1 || st.BudgetRemaining != 0 {
+		t.Fatalf("breached objective reports %+v, want state=breach burn_fast>=1 budget=0", st)
+	}
+	if st.Current <= 1e-9 {
+		t.Fatalf("current p99 %v s, want > 1ns", st.Current)
+	}
+
+	// The transition is journaled, hence visible on /events.
+	_, ebody := get(t, ts.URL+"/events")
+	found := false
+	for _, ev := range decodeEvents(t, ebody) {
+		if ev.Type == "slo_transition" && ev.Fields["slo"] == "serve-ingest-lat" &&
+			ev.Fields["to"] == "breach" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slo_transition to breach for serve-ingest-lat in /events:\n%s", ebody)
+	}
+
+	// The state gauges are on /metrics.
+	_, mbody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`terids_slo_state{slo="serve-ingest-lat"} 2`,
+		`terids_slo_budget_remaining{slo="serve-ingest-lat"} 0`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeDebugDump: POST /debug/dump writes a parseable flight bundle and
+// returns its path; without a flight recorder the endpoint is a 404.
+func TestServeDebugDump(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts, _ := startObsServer(t, f, 2, 2)
+	ingest(t, ts, f.stream[:40])
+	dir := t.TempDir()
+	srv.flight = &obs.Flight{
+		Dir: dir, Version: "test",
+		Registry: srv.reg, Journal: srv.jr,
+		Traces: func() any { return srv.eng.Traces() },
+		Stats:  func() any { return srv.eng.Stats() },
+	}
+	srv.jr.Record("test_marker", "dump test marker", nil)
+
+	resp, body := get(t, ts.URL+"/healthz") // warm liveness before the dump
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	dresp, err := http.Post(ts.URL+"/debug/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || out.Path == "" {
+		t.Fatalf("POST /debug/dump: status %d path %q", dresp.StatusCode, out.Path)
+	}
+	raw, err := os.ReadFile(out.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle obs.FlightBundle
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatalf("bundle not JSON: %v", err)
+	}
+	if bundle.Reason != "http" || len(bundle.Events) == 0 ||
+		!strings.Contains(bundle.Metrics, "terids_arrivals_total") ||
+		!strings.Contains(bundle.Goroutines, "goroutine") {
+		t.Fatalf("bundle incomplete: reason=%q events=%d metrics=%dB",
+			bundle.Reason, len(bundle.Events), len(bundle.Metrics))
+	}
+	marked := false
+	for _, ev := range bundle.Events {
+		if ev.Type == "test_marker" {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Fatal("bundle events missing the journaled marker")
+	}
+
+	// No recorder configured: 404, nothing written.
+	_, ts2 := startServer(t, f, 1, 8, nil)
+	nresp, err := http.Post(ts2.URL+"/debug/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dump without -flight-dir: status %d, want 404", nresp.StatusCode)
+	}
+}
+
+// TestServeTraceDuringRebalance hammers GET /trace while admin rebalances
+// and ingest run concurrently: every served trace must be complete — all
+// stage fields present, strictly positive total — under the race detector.
+func TestServeTraceDuringRebalance(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts, _ := startObsServer(t, f, 2, 1)
+	ingest(t, ts, f.stream[:40])
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/trace")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+				for sc.Scan() {
+					var tr map[string]any
+					if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+						t.Errorf("trace line not JSON during rebalance: %v", err)
+						break
+					}
+					for _, key := range []string{"impute_queue_wait_ns", "impute_ns", "route_ns", "merge_hold_ns", "total_ns"} {
+						v, ok := tr[key].(float64)
+						if !ok {
+							t.Errorf("trace missing %q during rebalance: %v", key, tr)
+							break
+						}
+						if v < 0 {
+							t.Errorf("trace %s negative (%v) during rebalance", key, v)
+							break
+						}
+					}
+					if tot, _ := tr["total_ns"].(float64); tot <= 0 {
+						t.Errorf("trace total_ns %v during rebalance, want > 0", tr["total_ns"])
+					}
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Rebalance back and forth while traces stream, with ingest in between.
+	next := 40
+	for i, k := range []int{4, 2, 4, 2} {
+		resp, err := http.Post(fmt.Sprintf("%s/rebalance?shards=%d", ts.URL, k), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rebalance %d: status %d", i, resp.StatusCode)
+		}
+		if next+20 <= len(f.stream) {
+			ingest(t, ts, f.stream[next:next+20])
+			next += 20
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

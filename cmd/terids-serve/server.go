@@ -65,10 +65,30 @@ type server struct {
 
 	// reg is the metrics registry /metrics renders; started feeds
 	// uptime_seconds; ready flips once the engine is attached and serving
-	// (readyz) and back off at shutdown.
+	// (readyz) and back off at shutdown. The listener starts before the
+	// engine exists, so every engine-backed handler is gated on ready: the
+	// store of s.eng happens before ready.Store(true), and handlers only
+	// touch s.eng after observing ready — that atomic pair is the
+	// happens-before edge making the late attach race-free.
 	reg     *obs.Registry
 	started time.Time
 	ready   atomic.Bool
+	// readyReason names the startup phase /readyz (and gated endpoints)
+	// report while ready is false: "starting", then "recovering" during WAL
+	// replay. Holds a string.
+	readyReason atomic.Value
+
+	// jr is the lifecycle event journal behind GET /events; slo, when
+	// non-nil, serves GET /slo; flight, when non-nil and configured with a
+	// directory, backs POST /debug/dump (and the SIGQUIT/panic paths in main).
+	jr     *obs.Journal
+	slo    *obs.SLOEngine
+	flight *obs.Flight
+
+	// throttleLast tracks each stream's last 429, so the journal records one
+	// event per throttle episode instead of one per rejected line.
+	throttleMu   sync.Mutex
+	throttleLast map[int]time.Time
 
 	mu          sync.Mutex
 	subs        map[chan engine.Result]struct{}
@@ -81,34 +101,109 @@ type server struct {
 // (its OnResult must point at s.onResult, which needs s to exist first).
 func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string) *server {
 	s := &server{
-		schema:      schema,
-		ring:        newResultRing(ringCap, ringBase),
-		ckptDir:     ckptDir,
-		done:        make(chan struct{}),
-		deepSem:     make(chan struct{}, 1),
-		reg:         obs.Default(),
-		started:     time.Now(),
-		ingestBatch: 1,
-		interner:    tuple.NewInterner(0),
+		schema:       schema,
+		ring:         newResultRing(ringCap, ringBase),
+		ckptDir:      ckptDir,
+		done:         make(chan struct{}),
+		deepSem:      make(chan struct{}, 1),
+		reg:          obs.Default(),
+		started:      time.Now(),
+		ingestBatch:  1,
+		interner:     tuple.NewInterner(0),
+		jr:           obs.DefaultJournal(),
+		throttleLast: make(map[int]time.Time),
 	}
+	s.readyReason.Store("starting")
 	s.reg.GaugeFunc("terids_uptime_seconds", "Seconds since this process started serving.", nil,
 		func() float64 { return time.Since(s.started).Seconds() })
 	return s
 }
 
-// routes registers every endpoint.
+// notReadyReason is the body a gated endpoint or /readyz returns while the
+// server is not ready to take traffic.
+func (s *server) notReadyReason() string {
+	if r, ok := s.readyReason.Load().(string); ok && r != "" {
+		return r
+	}
+	return "starting"
+}
+
+// requireEngine gates an engine-backed handler on readiness: the listener
+// comes up before the engine exists (so probes and diagnostics answer during
+// a long recovery replay), and traffic gets a 503 naming the startup phase
+// until main attaches the engine and flips ready.
+func (s *server) requireEngine(h http.HandlerFunc) http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		if !s.ready.Load() {
+			http.Error(rw, s.notReadyReason(), http.StatusServiceUnavailable)
+			return
+		}
+		h(rw, req)
+	}
+}
+
+// routes registers every endpoint. Engine-backed handlers are readiness-
+// gated; observability endpoints (metrics, probes, events, slo, dump) answer
+// from the moment the listener is up.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /results", s.handleResults)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /rebalance", s.handleRebalance)
+	mux.HandleFunc("POST /ingest", s.requireEngine(s.handleIngest))
+	mux.HandleFunc("GET /results", s.requireEngine(s.handleResults))
+	mux.HandleFunc("GET /stats", s.requireEngine(s.handleStats))
+	mux.HandleFunc("POST /snapshot", s.requireEngine(s.handleSnapshot))
+	mux.HandleFunc("POST /rebalance", s.requireEngine(s.handleRebalance))
+	mux.HandleFunc("GET /trace", s.requireEngine(s.handleTrace))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("POST /debug/dump", s.handleDump)
 	return mux
+}
+
+// handleEvents serves the lifecycle event journal as NDJSON, oldest first;
+// ?from=seq resumes from a cursor (clamped to the oldest retained event).
+func (s *server) handleEvents(rw http.ResponseWriter, req *http.Request) {
+	from := int64(0)
+	if q := req.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(rw, fmt.Sprintf("bad from=%q: non-negative integer required", q),
+				http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.jr.WriteNDJSON(rw, from)
+}
+
+// handleSLO reports every objective's current value, burn rates, remaining
+// error budget, and ok/warn/breach state as JSON.
+func (s *server) handleSLO(rw http.ResponseWriter, _ *http.Request) {
+	statuses := []obs.SLOStatus{}
+	if s.slo != nil {
+		statuses = s.slo.Status()
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{"objectives": statuses})
+}
+
+// handleDump triggers a flight-recorder bundle on demand and returns its
+// path — the manual counterpart of the SIGQUIT and panic dumps.
+func (s *server) handleDump(rw http.ResponseWriter, _ *http.Request) {
+	if s.flight == nil || s.flight.Dir == "" {
+		http.Error(rw, "flight recorder disabled (start with -flight-dir)", http.StatusNotFound)
+		return
+	}
+	path, err := s.flight.Dump("http")
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{"path": path})
 }
 
 // handleMetrics serves the process-wide registry in the Prometheus text
@@ -130,14 +225,23 @@ func (s *server) handleTrace(rw http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleHealthz reports process liveness: 200 while the pipeline is intact,
-// 503 once it has failed or the server is shutting down.
+// handleHealthz reports process liveness: 200 while the pipeline is intact
+// (including the startup window before the engine exists — a process deep in
+// recovery replay is alive, just not ready), 503 once the pipeline has
+// failed or the server is shutting down.
 func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	select {
 	case <-s.done:
 		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
 		return
 	default:
+	}
+	if !s.ready.Load() {
+		// Still starting: the engine may not be attached yet, so it must not
+		// be touched — and a slow recovery is not a liveness failure.
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+		return
 	}
 	if err := s.eng.Err(); err != nil {
 		http.Error(rw, fmt.Sprintf("pipeline failed: %v", err), http.StatusServiceUnavailable)
@@ -148,7 +252,8 @@ func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz reports readiness to take traffic: recovery replay finished,
-// engine attached and healthy, not shutting down.
+// engine attached and healthy, no rebalance pause in progress, not shutting
+// down. The 503 body names why ("starting", "recovering", "rebalancing").
 func (s *server) handleReadyz(rw http.ResponseWriter, _ *http.Request) {
 	select {
 	case <-s.done:
@@ -157,7 +262,11 @@ func (s *server) handleReadyz(rw http.ResponseWriter, _ *http.Request) {
 	default:
 	}
 	if !s.ready.Load() {
-		http.Error(rw, "starting up", http.StatusServiceUnavailable)
+		http.Error(rw, s.notReadyReason(), http.StatusServiceUnavailable)
+		return
+	}
+	if s.eng.Rebalancing() {
+		http.Error(rw, "rebalancing", http.StatusServiceUnavailable)
 		return
 	}
 	if err := s.eng.Err(); err != nil {
@@ -321,6 +430,7 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 			s.reg.Counter("terids_ingest_throttled_total",
 				"Ingest requests rejected by the per-stream rate limit.",
 				obs.Labels{"stream": strconv.Itoa(a.Stream)}).Inc()
+			s.noteThrottle(a.Stream, wait)
 			rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
 			fail(http.StatusTooManyRequests, fmt.Sprintf("line %d: stream %d over the ingest rate limit", lineNo, a.Stream))
 			return
@@ -354,6 +464,27 @@ func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	reply(http.StatusOK, "")
+}
+
+// throttleEpisodeGap separates distinct throttle episodes in the journal: a
+// stream's repeated 429s within the gap extend one episode instead of
+// producing one event per rejected line.
+const throttleEpisodeGap = 5 * time.Second
+
+// noteThrottle records a "throttle" journal event when a stream transitions
+// into an over-limit episode.
+func (s *server) noteThrottle(stream int, wait time.Duration) {
+	now := time.Now()
+	s.throttleMu.Lock()
+	last, seen := s.throttleLast[stream]
+	s.throttleLast[stream] = now
+	s.throttleMu.Unlock()
+	if seen && now.Sub(last) < throttleEpisodeGap {
+		return
+	}
+	s.jr.Record("throttle", "stream over the ingest rate limit", map[string]any{
+		"stream": stream, "retry_after_s": retryAfterSeconds(wait),
+	})
 }
 
 // handleResults streams per-arrival results as NDJSON. Modes:

@@ -98,6 +98,7 @@ func startServer(t *testing.T, f serveFixture, shards, ringCap int, ckpt *snapsh
 		t.Fatal(err)
 	}
 	srv.eng = eng
+	srv.ready.Store(true)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(func() {
 		close(srv.done)
@@ -450,6 +451,7 @@ func startDurableServer(t *testing.T, f serveFixture, shards, ringCap int, dir s
 	}
 	srv.eng = dur.Eng
 	srv.dur = dur
+	srv.ready.Store(true)
 	return srv, dur, httptest.NewServer(srv.routes())
 }
 

@@ -221,8 +221,14 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		return err
 	}
 	d.deepReplays.Add(1)
+	took := time.Since(replayStart)
 	if m := d.met; m != nil {
-		m.deepReplay.ObserveSince(replayStart)
+		m.deepReplay.ObserveDuration(took)
 	}
+	d.Eng.jr.Record("deep_replay", "regenerated historical results from checkpoint + WAL",
+		map[string]any{
+			"from": from, "base": base,
+			"duration_ms": float64(took.Microseconds()) / 1000,
+		})
 	return nil
 }

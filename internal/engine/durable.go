@@ -535,16 +535,30 @@ func (d *Durable) CheckpointNow() (string, error) {
 		d.deltasSince++
 		d.deltaCount++
 	}
+	writeTook := time.Since(writeStart)
+	var sizeBytes int64
+	if fi, serr := os.Stat(path); serr == nil {
+		sizeBytes = fi.Size()
+	}
 	if m := d.met; m != nil {
 		wh, bh := m.writeFull, m.bytesFull
 		if wroteDelta {
 			wh, bh = m.writeDelta, m.bytesDelta
 		}
-		wh.ObserveSince(writeStart)
-		if fi, serr := os.Stat(path); serr == nil {
-			bh.Observe(fi.Size())
+		wh.ObserveDuration(writeTook)
+		if sizeBytes > 0 {
+			bh.Observe(sizeBytes)
 		}
 	}
+	ckKind := "full"
+	if wroteDelta {
+		ckKind = "delta"
+	}
+	d.Eng.jr.Record("checkpoint", "checkpoint persisted",
+		map[string]any{
+			"kind": ckKind, "seq": c.Seq, "bytes": sizeBytes,
+			"duration_ms": float64(writeTook.Microseconds()) / 1000, "path": path,
+		})
 	// prevCkpt pins the full materialized state in memory as the next
 	// delta's base — only worth the footprint when deltas are enabled.
 	if d.cfg.DeltaEvery > 0 {

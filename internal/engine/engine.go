@@ -92,6 +92,11 @@ type Config struct {
 	// Obs selects the registry the engine publishes its stage metrics into.
 	// Nil means obs.Default(), the process-wide registry /metrics serves.
 	Obs *obs.Registry
+	// Journal selects the event journal lifecycle events (rebalances,
+	// pipeline failure) are recorded into. Nil means obs.DefaultJournal(),
+	// the journal GET /events serves; ObsOff disables it with the rest of
+	// the instrumentation.
+	Journal *obs.Journal
 	// ObsOff disables all metric and trace instrumentation (used by
 	// deep-replay throwaway engines and overhead benchmarks).
 	ObsOff bool
@@ -275,9 +280,15 @@ type Engine struct {
 
 	// met is nil when Config.ObsOff is set — every stage guards its
 	// instrumentation with one pointer check. traces is nil unless
-	// Config.TraceSample > 0 (and instrumentation is on).
+	// Config.TraceSample > 0 (and instrumentation is on). jr is the
+	// lifecycle event journal (nil under ObsOff; Record is nil-safe).
 	met    *engineMetrics
 	traces *obs.Ring[Trace]
+	jr     *obs.Journal
+
+	// rebalancing is set for the span of an online rebalance — the pause
+	// window during which /readyz reports not-ready.
+	rebalancing atomic.Bool
 
 	failOnce sync.Once
 	failErr  error
@@ -336,6 +347,10 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 		e.met = newEngineMetrics(reg)
 		if cfg.TraceSample > 0 {
 			e.traces = obs.NewRing[Trace](traceRingCap)
+		}
+		e.jr = cfg.Journal
+		if e.jr == nil {
+			e.jr = obs.DefaultJournal()
 		}
 	}
 	ps := func(string) poolStats { return poolStats{} }
@@ -418,6 +433,8 @@ func (e *Engine) fail(err error) {
 		e.failMu.Lock()
 		e.failErr = err
 		e.failMu.Unlock()
+		e.jr.Record("pipeline_failed", "pipeline failed, engine unusable",
+			map[string]any{"error": err.Error()})
 		e.cancel()
 		// Wake a Checkpoint barrier that is waiting for a drain which will
 		// never complete. Broadcast under resultsMu: a waiter between its

@@ -302,6 +302,10 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 	if err := e.Err(); err != nil {
 		return err
 	}
+	// The pause window starts here: submissions are locked out until the
+	// rebuilt pipeline restarts, and /readyz reports not-ready throughout.
+	e.rebalancing.Store(true)
+	defer e.rebalancing.Store(false)
 	if trig != trigManual {
 		// The candidate layout was computed before this lock. If a manual
 		// rebalance won the race (different K now) or the skew already
@@ -318,6 +322,8 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 			e.reb.mu.Lock()
 			e.reb.skipped++
 			e.reb.mu.Unlock()
+			e.jr.Record("rebalance_skipped", "automatic rebalance stood down (stale trigger)",
+				map[string]any{"trigger": trig.String(), "k": l.K})
 			return nil
 		}
 	}
@@ -332,6 +338,8 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 	e.inflight.Wait()
 	imbBefore := imbalanceOf(e.shards)
 	oldK := e.cfg.Shards
+	e.jr.Record("rebalance_start", "online rebalance: barrier checkpoint and rebuild",
+		map[string]any{"trigger": trig.String(), "k_from": oldK, "k_to": l.K, "imbalance": imbBefore})
 	c, err := e.checkpointLocked()
 	if err != nil {
 		return err
@@ -369,10 +377,21 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 	e.reb.lastTook = took
 	e.reb.lastTrig = trig
 	e.reb.mu.Unlock()
+	e.jr.Record("rebalance_done", "online rebalance complete, pipeline resumed",
+		map[string]any{
+			"trigger": trig.String(), "k_from": oldK, "k_to": l.K,
+			"seq": c.Seq, "residents": len(c.Residents),
+			"imbalance": imbBefore, "duration_ms": float64(took.Microseconds()) / 1000,
+		})
 	e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f, trigger %s) in %v",
 		oldK, l.K, c.Seq, len(c.Residents), imbBefore, trig, took.Round(time.Microsecond))
 	return nil
 }
+
+// Rebalancing reports whether an online rebalance is in its pause window
+// (submissions locked out, pipeline torn down or rebuilding). Serving
+// layers surface it through /readyz.
+func (e *Engine) Rebalancing() bool { return e.rebalancing.Load() }
 
 // rebuild replaces the routing/window/shard state under layout l and
 // reloads the checkpointed residents. Caller holds subMu and stateMu with
@@ -542,6 +561,8 @@ func (e *Engine) monitor() {
 			e.reb.mu.Lock()
 			e.reb.skipped++
 			e.reb.mu.Unlock()
+			e.jr.Record("rebalance_skipped", "no candidate layout improves the imbalance",
+				map[string]any{"trigger": trig.String(), "imbalance": imb, "projected": proj})
 			rc.Logf("rebalance: skipped at %s imbalance %.2f (best layout projects %.2f)", trig, imb, proj)
 			continue
 		}

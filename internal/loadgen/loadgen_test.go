@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testRecords(n int) []Arrival {
+	recs := make([]Arrival, n)
+	for i := range recs {
+		recs[i] = Arrival{
+			RID:    fmt.Sprintf("r%d", i),
+			Stream: i % 2,
+			Values: []string{"a", "b", "c", "d"},
+		}
+	}
+	return recs
+}
+
+// acceptAll is a fast ingest stub replying like terids-serve.
+func acceptAll() http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		n := 0
+		sc := bufio.NewScanner(req.Body)
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) != "" {
+				n++
+			}
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{"accepted": n})
+	}
+}
+
+func TestParsePhases(t *testing.T) {
+	phases, err := ParsePhases(100, 2*time.Second, "")
+	if err != nil || len(phases) != 1 || phases[0].Rate != 100 || phases[0].Duration != 2*time.Second {
+		t.Fatalf("single phase: %v %v", phases, err)
+	}
+	phases, err = ParsePhases(0, 0, "200:1s, 400:500ms")
+	if err != nil || len(phases) != 2 {
+		t.Fatalf("ramp: %v %v", phases, err)
+	}
+	if phases[0].Rate != 200 || phases[1].Rate != 400 || phases[1].Duration != 500*time.Millisecond {
+		t.Fatalf("ramp parsed wrong: %+v", phases)
+	}
+	for _, bad := range []string{"200", "x:1s", "200:zzz", "-5:1s", "200:-1s"} {
+		if _, err := ParsePhases(0, 0, bad); err == nil {
+			t.Fatalf("ramp %q accepted, want error", bad)
+		}
+	}
+	if _, err := ParsePhases(0, 0, ""); err == nil {
+		t.Fatal("no rate, no ramp accepted, want error")
+	}
+}
+
+// TestRunBasicReport: a fast server at a modest rate — every arrival is
+// accepted, the achieved rate is near the target, and the report carries the
+// phase breakdown.
+func TestRunBasicReport(t *testing.T) {
+	ts := httptest.NewServer(acceptAll())
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Phases:  []Phase{{Rate: 400, Duration: 500 * time.Millisecond}},
+		Records: testRecords(16),
+		Workers: 2, Batch: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 200 || rep.Accepted != 200 || rep.Errors != 0 {
+		t.Fatalf("sent/accepted/errors = %d/%d/%d, want 200/200/0", rep.Sent, rep.Accepted, rep.Errors)
+	}
+	if rep.AchievedRate < 200 || rep.AchievedRate > 800 {
+		t.Fatalf("achieved rate %.1f, want near 400", rep.AchievedRate)
+	}
+	if rep.TargetRate != 400 {
+		t.Fatalf("target rate %.1f, want 400", rep.TargetRate)
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].Sent != 200 {
+		t.Fatalf("phase breakdown %+v", rep.Phases)
+	}
+	if rep.P50NS <= 0 || rep.P99NS < rep.P50NS {
+		t.Fatalf("quantiles p50=%v p99=%v", rep.P50NS, rep.P99NS)
+	}
+}
+
+// TestRunCoordinatedOmissionSafety is the property the harness exists for: a
+// server that stalls every request must show the queueing delay in the
+// recorded distribution. One worker against a 25ms-per-request server at
+// 100/s means the schedule demands 4× the capacity; arrivals queue, and a
+// schedule-based (intended-start) measurement records latencies that grow
+// toward the full backlog — while a naive send-based measurement would
+// report a flat ~25ms and hide the overload entirely.
+func TestRunCoordinatedOmissionSafety(t *testing.T) {
+	const service = 25 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		time.Sleep(service)
+		acceptAll()(rw, req)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Phases:  []Phase{{Rate: 100, Duration: 250 * time.Millisecond}},
+		Records: testRecords(8),
+		Workers: 1, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 25 {
+		t.Fatalf("sent %d, want 25", rep.Sent)
+	}
+	// 25 requests × 25ms service on one connection = 625ms of work against a
+	// 250ms schedule: the last arrivals wait hundreds of ms past their slot.
+	// p99 must expose that queueing, far above the bare service time.
+	if rep.P99NS < float64(4*service) {
+		t.Fatalf("p99 %.1fms with a saturated server, want >= %.0fms (queueing must be measured, not omitted)",
+			rep.P99NS/1e6, float64(4*service)/1e6)
+	}
+	// And the median is already above one service time: mid-schedule arrivals
+	// queue too.
+	if rep.P50NS < float64(service) {
+		t.Fatalf("p50 %.1fms, want >= service time %.0fms", rep.P50NS/1e6, float64(service)/1e6)
+	}
+}
+
+// TestRunCountsThrottlesAndErrors: 429 and 5xx replies land in the
+// throttled/error counters, not in accepted.
+func TestRunCountsThrottlesAndErrors(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		bufio.NewScanner(req.Body) // drain lazily; reply depends on call index
+		switch n.Add(1) % 2 {
+		case 0:
+			rw.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(rw).Encode(map[string]any{"accepted": 0})
+		default:
+			rw.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(rw).Encode(map[string]any{"accepted": 0})
+		}
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Phases:  []Phase{{Rate: 200, Duration: 200 * time.Millisecond}},
+		Records: testRecords(4),
+		Workers: 2, Batch: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 0 {
+		t.Fatalf("accepted %d from an all-failing server, want 0", rep.Accepted)
+	}
+	if rep.Throttled429 == 0 || rep.Errors == 0 {
+		t.Fatalf("throttled=%d errors=%d, want both > 0", rep.Throttled429, rep.Errors)
+	}
+	if rep.Throttled429+rep.Errors != rep.Sent {
+		t.Fatalf("throttled %d + errors %d != sent %d", rep.Throttled429, rep.Errors, rep.Sent)
+	}
+}
+
+func TestReportCheck(t *testing.T) {
+	rep := Report{P99NS: 5e6, AchievedRate: 150, Sent: 1000, Errors: 20}
+	if err := rep.Check(Thresholds{MaxP99: 10 * time.Millisecond, MinRate: 100, MaxErrorRate: 0.05}); err != nil {
+		t.Fatalf("passing report failed check: %v", err)
+	}
+	if err := rep.Check(Thresholds{MaxP99: time.Millisecond}); err == nil ||
+		!strings.Contains(err.Error(), "p99") {
+		t.Fatalf("p99 violation not reported: %v", err)
+	}
+	if err := rep.Check(Thresholds{MinRate: 1e6}); err == nil ||
+		!strings.Contains(err.Error(), "rate") {
+		t.Fatalf("rate violation not reported: %v", err)
+	}
+	if err := rep.Check(Thresholds{MaxErrorRate: 0.001}); err == nil ||
+		!strings.Contains(err.Error(), "error rate") {
+		t.Fatalf("error-rate violation not reported: %v", err)
+	}
+	if err := rep.Check(Thresholds{}); err != nil {
+		t.Fatalf("zero thresholds must disable every gate: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+// The flight recorder freezes the process's observability state into one
+// self-contained diagnostic bundle on disk — recent journal events, the
+// sampled trace ring, a full /metrics exposition, engine stats, and a
+// goroutine dump — so post-mortems never depend on the process staying
+// alive or a scraper having been attached. Bundles are written atomically
+// (temp file + rename in the target directory), so a reader never sees a
+// torn file even if the process dies mid-dump.
+//
+// Three triggers share the same path: SIGQUIT (operator-initiated, the
+// classic "dump and exit"), POST /debug/dump (live capture without
+// stopping anything), and panic (via Go's crash-output file — an
+// unrecovered panic can't run arbitrary code, so the runtime writes the
+// crash report itself and the bundle from the last explicit dump or the
+// crash text is what survives).
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// FlightBundle is the serialized diagnostic bundle.
+type FlightBundle struct {
+	Reason       string          `json:"reason"`
+	WrittenAt    time.Time       `json:"written_at"`
+	Version      string          `json:"version,omitempty"`
+	GoVersion    string          `json:"go_version"`
+	NumGoroutine int             `json:"num_goroutine"`
+	Events       []Event         `json:"events"`
+	Traces       any             `json:"traces,omitempty"`
+	Metrics      string          `json:"metrics"`
+	Stats        json.RawMessage `json:"stats,omitempty"`
+	Goroutines   string          `json:"goroutines"`
+}
+
+// Flight captures diagnostic bundles into a directory. The zero value is
+// unusable; a nil *Flight is safe to Dump on (no-op, returns empty path).
+type Flight struct {
+	// Dir is the destination directory (created on first dump).
+	Dir string
+	// Version stamps bundles with the build's version string.
+	Version string
+	// Registry supplies the /metrics snapshot; nil means Default().
+	Registry *Registry
+	// Journal supplies recent events; nil means DefaultJournal().
+	Journal *Journal
+	// Traces, when set, returns the sampled trace ring (any
+	// JSON-marshalable slice).
+	Traces func() any
+	// Stats, when set, returns engine stats (any JSON-marshalable value).
+	Stats func() any
+}
+
+// Dump writes one bundle named flight-<unixnano>-<reason>.json and
+// returns its path. Errors are returned, not fatal — a failing dump must
+// never take down the process it is documenting.
+func (f *Flight) Dump(reason string) (string, error) {
+	if f == nil || f.Dir == "" {
+		return "", nil
+	}
+	reg := f.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	jr := f.Journal
+	if jr == nil {
+		jr = DefaultJournal()
+	}
+	var metrics strings.Builder
+	_ = reg.WritePrometheus(&metrics)
+	b := FlightBundle{
+		Reason:       sanitizeReason(reason),
+		WrittenAt:    time.Now(),
+		Version:      f.Version,
+		GoVersion:    runtime.Version(),
+		NumGoroutine: runtime.NumGoroutine(),
+		Events:       jr.Snapshot(),
+		Metrics:      metrics.String(),
+		Goroutines:   allStacks(),
+	}
+	if b.Events == nil {
+		b.Events = []Event{}
+	}
+	if f.Traces != nil {
+		b.Traces = f.Traces()
+	}
+	if f.Stats != nil {
+		if raw, err := json.Marshal(f.Stats()); err == nil {
+			b.Stats = raw
+		}
+	}
+	if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	name := fmt.Sprintf("flight-%d-%s.json", b.WrittenAt.UnixNano(), b.Reason)
+	final := filepath.Join(f.Dir, name)
+	tmp, err := os.CreateTemp(f.Dir, ".flight-*")
+	if err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("flight: encode: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("flight: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("flight: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("flight: rename: %w", err)
+	}
+	return final, nil
+}
+
+// sanitizeReason keeps the reason filesystem-safe.
+func sanitizeReason(r string) string {
+	if r == "" {
+		return "manual"
+	}
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			return c
+		}
+		return '_'
+	}, r)
+}
+
+// allStacks captures every goroutine's stack, growing the buffer until
+// the dump fits (capped at 16 MiB).
+func allStacks() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		if len(buf) >= 16<<20 {
+			return string(buf[:n])
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightDumpBundle(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.Counter("terids_arrivals_total", "arrivals", nil).Add(42)
+	jr := NewJournal(8)
+	jr.Record("startup", "serving", map[string]any{"k": 4})
+
+	f := &Flight{
+		Dir:      dir,
+		Version:  "test-1",
+		Registry: reg,
+		Journal:  jr,
+		Traces:   func() any { return []map[string]any{{"seq": 1, "total_ns": 123}} },
+		Stats:    func() any { return map[string]int{"shards": 4} },
+	}
+	path, err := f.Dump("sigquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.Contains(filepath.Base(path), "sigquit") {
+		t.Fatalf("bundle path %q", path)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b FlightBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if b.Reason != "sigquit" || b.Version != "test-1" {
+		t.Fatalf("bundle header %+v", b)
+	}
+	if len(b.Events) < 1 || b.Events[0].Type != "startup" {
+		t.Fatalf("bundle events %+v", b.Events)
+	}
+	if !strings.Contains(b.Metrics, "terids_arrivals_total 42") {
+		t.Fatalf("bundle metrics missing counter:\n%s", b.Metrics)
+	}
+	if b.Traces == nil {
+		t.Fatal("bundle missing traces")
+	}
+	var stats map[string]int
+	if err := json.Unmarshal(b.Stats, &stats); err != nil || stats["shards"] != 4 {
+		t.Fatalf("bundle stats %s (%v)", b.Stats, err)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine") {
+		t.Fatal("bundle missing goroutine dump")
+	}
+	if b.NumGoroutine < 1 {
+		t.Fatal("bundle missing goroutine count")
+	}
+
+	// No temp litter left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".flight-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestFlightNilAndDirless(t *testing.T) {
+	var f *Flight
+	if p, err := f.Dump("x"); err != nil || p != "" {
+		t.Fatalf("nil flight: %q %v", p, err)
+	}
+	f2 := &Flight{}
+	if p, err := f2.Dump("x"); err != nil || p != "" {
+		t.Fatalf("dirless flight: %q %v", p, err)
+	}
+}
+
+func TestFlightReasonSanitized(t *testing.T) {
+	f := &Flight{Dir: t.TempDir(), Registry: NewRegistry(), Journal: NewJournal(1)}
+	path, err := f.Dump("../../etc passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, "/ ") || strings.Contains(base, "..") {
+		t.Fatalf("unsanitized bundle name %q", base)
+	}
+	if filepath.Dir(path) != f.Dir {
+		t.Fatalf("bundle escaped dir: %q", path)
+	}
+}

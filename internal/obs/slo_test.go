@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLOLatency(t *testing.T) {
+	obj, err := ParseSLO("ingest-p99:terids_impute_seconds:p99<250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Name != "ingest-p99" || obj.kind != sloLatency {
+		t.Fatalf("parsed %+v", obj)
+	}
+	if obj.Family != "terids_impute_seconds" || obj.Quantile != 0.99 {
+		t.Fatalf("parsed %+v", obj)
+	}
+	if obj.BoundRaw != 250e6 {
+		t.Fatalf("bound = %v ns, want 250ms", obj.BoundRaw)
+	}
+}
+
+func TestParseSLOLatencyLabelsAndP999(t *testing.T) {
+	obj, err := ParseSLO(`shard0:terids_shard_resolve_seconds{shard=0}:p999<5s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Family != "terids_shard_resolve_seconds" || obj.FamilyLabels["shard"] != "0" {
+		t.Fatalf("parsed %+v", obj)
+	}
+	if obj.Quantile != 0.999 {
+		t.Fatalf("quantile = %v, want 0.999", obj.Quantile)
+	}
+}
+
+func TestParseSLORatio(t *testing.T) {
+	obj, err := ParseSLO("errors:terids_rejected_total/terids_arrivals_total<0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.kind != sloRatio || obj.ErrFamily != "terids_rejected_total" ||
+		obj.TotalFamily != "terids_arrivals_total" || obj.Max != 0.01 {
+		t.Fatalf("parsed %+v", obj)
+	}
+}
+
+func TestParseSLOErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"nobound:fam:p99",
+		":fam:p99<1ms",
+		"x:fam<1ms",          // latency without quantile
+		"x:fam:q99<1ms",      // bad quantile prefix
+		"x:fam:p99<oops",     // bad duration
+		"x:a/b<2",            // ratio bound out of range
+		"x:a/b<0",            // ratio bound out of range
+		"x:fam{open:p99<1ms", // unclosed selector
+	} {
+		if _, err := ParseSLO(spec); err == nil {
+			t.Fatalf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestParseSLOFile(t *testing.T) {
+	objs, err := ParseSLOFile("# objectives\n\ningest:lat:p99<10ms\nerrors:e/t<0.05\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Name != "ingest" || objs[1].Name != "errors" {
+		t.Fatalf("parsed %+v", objs)
+	}
+	if _, err := ParseSLOFile("good:lat:p99<10ms\nbad line\n"); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("bad file error = %v", err)
+	}
+}
+
+// TestSLOEngineBreachTransition drives a latency objective from ok to
+// breach with deterministic ticks and asserts the verdict, the gauges,
+// and the journal transition event — the acceptance path for /slo.
+func TestSLOEngineBreachTransition(t *testing.T) {
+	reg := NewRegistry()
+	jr := NewJournal(16)
+	h := reg.Histogram("lat", "", nil)
+
+	obj, err := ParseSLO("ingest:lat:p99<1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSLOEngine(reg, jr, []Objective{obj}, time.Second, 10*time.Second, time.Minute)
+
+	t0 := time.Unix(1700000000, 0)
+	// Healthy traffic: everything far under the bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100_000) // 100µs
+	}
+	eng.Tick(t0)
+	st := eng.Status()
+	if len(st) != 1 || st[0].State != "ok" {
+		t.Fatalf("after healthy tick: %+v", st)
+	}
+	if jr.NextSeq() != 0 {
+		t.Fatalf("no transition expected, journal has %d events", jr.NextSeq())
+	}
+
+	// Violation: a flood of observations far above the bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(50_000_000) // 50ms
+	}
+	eng.Tick(t0.Add(time.Second))
+	st = eng.Status()
+	if st[0].State != "breach" {
+		t.Fatalf("after violation: %+v", st[0])
+	}
+	if st[0].BurnRateFast < 1 {
+		t.Fatalf("burn rate fast = %v, want >= 1", st[0].BurnRateFast)
+	}
+	if st[0].Current <= 0.001 {
+		t.Fatalf("current = %v s, want above the 1ms bound", st[0].Current)
+	}
+	if st[0].BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v, want 0", st[0].BudgetRemaining)
+	}
+
+	evs := jr.Snapshot()
+	if len(evs) != 1 || evs[0].Type != "slo_transition" {
+		t.Fatalf("journal = %+v, want one slo_transition", evs)
+	}
+	if evs[0].Fields["from"] != "ok" || evs[0].Fields["to"] != "breach" {
+		t.Fatalf("transition fields = %+v", evs[0].Fields)
+	}
+
+	// Gauges surfaced in the registry.
+	if g := reg.Gauge("terids_slo_state", "", Labels{"slo": "ingest"}); g.Value() != float64(SLOBreach) {
+		t.Fatalf("terids_slo_state = %v", g.Value())
+	}
+	if g := reg.Gauge("terids_slo_burn_rate", "", Labels{"slo": "ingest", "window": "fast"}); g.Value() < 1 {
+		t.Fatalf("terids_slo_burn_rate fast = %v", g.Value())
+	}
+
+	// Recovery: bound-respecting traffic ages the bad window out.
+	for i := 0; i < 200_000; i++ {
+		h.Observe(100_000)
+	}
+	eng.Tick(t0.Add(11 * time.Second)) // past the fast window
+	st = eng.Status()
+	if st[0].State == "breach" {
+		t.Fatalf("after recovery: %+v", st[0])
+	}
+	if jr.NextSeq() != 2 {
+		t.Fatalf("want a second transition event, journal has %d", jr.NextSeq())
+	}
+}
+
+func TestSLOEngineRatioObjective(t *testing.T) {
+	reg := NewRegistry()
+	jr := NewJournal(16)
+	errs := reg.Counter("rej_total", "", nil)
+	total := reg.Counter("arr_total", "", nil)
+
+	obj, err := ParseSLO("errors:rej_total/arr_total<0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSLOEngine(reg, jr, []Objective{obj}, time.Second, 10*time.Second, time.Minute)
+
+	t0 := time.Unix(1700000000, 0)
+	total.Add(10_000)
+	errs.Add(10) // 0.1% — within budget
+	eng.Tick(t0)
+	if st := eng.Status(); st[0].State != "ok" || st[0].Kind != "ratio" {
+		t.Fatalf("healthy: %+v", st[0])
+	}
+
+	total.Add(1000)
+	errs.Add(500) // window ratio 50% >> 1%
+	eng.Tick(t0.Add(time.Second))
+	st := eng.Status()
+	if st[0].State != "breach" {
+		t.Fatalf("violated: %+v", st[0])
+	}
+	if st[0].Current < 0.3 {
+		t.Fatalf("current ratio = %v, want ~0.5", st[0].Current)
+	}
+}
+
+// TestSLOEngineLateBinding: objectives naming not-yet-registered families
+// stay quietly ok and bind once the family appears.
+func TestSLOEngineLateBinding(t *testing.T) {
+	reg := NewRegistry()
+	obj, err := ParseSLO("later:future_seconds:p99<1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSLOEngine(reg, NewJournal(4), []Objective{obj}, time.Second, 10*time.Second, time.Minute)
+	t0 := time.Unix(1700000000, 0)
+	eng.Tick(t0)
+	if st := eng.Status(); st[0].State != "ok" {
+		t.Fatalf("unbound objective should be ok: %+v", st[0])
+	}
+	h := reg.Histogram("future_seconds", "", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(10_000_000)
+	}
+	eng.Tick(t0.Add(time.Second))
+	if st := eng.Status(); st[0].State != "breach" {
+		t.Fatalf("bound objective should evaluate: %+v", st[0])
+	}
+}
+
+func TestSLOEngineRunStop(t *testing.T) {
+	reg := NewRegistry()
+	obj, _ := ParseSLO("x:lat:p99<1ms")
+	eng := NewSLOEngine(reg, NewJournal(4), []Objective{obj}, 10*time.Millisecond, time.Second, time.Minute)
+	eng.Run()
+	time.Sleep(50 * time.Millisecond)
+	eng.Stop()
+	if eng.Objectives() != 1 {
+		t.Fatal("objective count")
+	}
+}

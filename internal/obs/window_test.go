@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr is |got-want|/want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+// TestHistogramQuantileInterpolationUniform pins the within-bucket linear
+// interpolation error on a uniform distribution. With log2 buckets a
+// uniform density is exactly what interpolation assumes, so mid-range
+// quantiles land nearly on target; the tail quantile only drifts where
+// the distribution's max cuts a bucket short. These bounds are the
+// contract /slo verdicts depend on — if a bucket-layout change widens
+// them, this test fails before the SLO engine starts lying.
+func TestHistogramQuantileInterpolationUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("uni", "", nil)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		h.Observe(int64(i))
+	}
+	p50 := h.Quantile(0.50)
+	if e := relErr(p50, 0.50*n); e > 0.02 {
+		t.Fatalf("uniform p50 = %.0f, want ~%d (rel err %.3f > 0.02)", p50, n/2, e)
+	}
+	p99 := h.Quantile(0.99)
+	if e := relErr(p99, 0.99*n); e > 0.10 {
+		t.Fatalf("uniform p99 = %.0f, want ~%.0f (rel err %.3f > 0.10)", p99, 0.99*n, e)
+	}
+	// Both estimates must stay inside the log2 bucket holding the true
+	// quantile — the hard guarantee interpolation cannot break.
+	if bucketOf(int64(p50)) != bucketOf(n/2) {
+		t.Fatalf("p50 estimate %.0f escaped the true quantile's bucket", p50)
+	}
+	if bucketOf(int64(p99)) != bucketOf(int64(0.99*n)) {
+		t.Fatalf("p99 estimate %.0f escaped the true quantile's bucket", p99)
+	}
+}
+
+// TestHistogramQuantileInterpolationBimodal pins the worst-case shape for
+// log2 interpolation: point masses far apart, where a spike sits at the
+// low edge of a wide bucket and interpolation can only promise the right
+// bucket, not the exact point.
+func TestHistogramQuantileInterpolationBimodal(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("bi", "", nil)
+	const lo, hi, n = 1000, 100_000, 10_000
+	for i := 0; i < n; i++ {
+		h.Observe(lo)
+		h.Observe(hi)
+	}
+	// True p50 is the low mode; the estimate may reach its bucket's upper
+	// bound (1024 for a spike at 1000) but no further.
+	p50 := h.Quantile(0.50)
+	if e := relErr(p50, lo); e > 0.05 {
+		t.Fatalf("bimodal p50 = %.0f, want ~%d (rel err %.3f > 0.05)", p50, lo, e)
+	}
+	// True p99 is the high mode at 100000, low in its (65536,131072]
+	// bucket; within-bucket uniformity overestimates. Pin the bound so it
+	// can only shrink.
+	p99 := h.Quantile(0.99)
+	if e := relErr(p99, hi); e > 0.35 {
+		t.Fatalf("bimodal p99 = %.0f, want ~%d (rel err %.3f > 0.35)", p99, hi, e)
+	}
+	if bucketOf(int64(p50)) != bucketOf(lo) {
+		t.Fatalf("p50 estimate %.0f escaped the true quantile's bucket", p50)
+	}
+	if bucketOf(int64(p99)) != bucketOf(hi) {
+		t.Fatalf("p99 estimate %.0f escaped the true quantile's bucket", p99)
+	}
+}
+
+func TestHistSnapshotSubAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000) // 1µs era
+	}
+	before := h.Snapshot()
+	for i := 0; i < 1000; i++ {
+		h.Observe(1_000_000) // 1ms era
+	}
+	after := h.Snapshot()
+
+	win := after.Sub(before)
+	if win.Count != 1000 {
+		t.Fatalf("window count = %d, want 1000", win.Count)
+	}
+	// The window contains only 1ms observations; cumulative view is 50/50.
+	if q := win.Quantile(0.50); relErr(q, 1_000_000) > 0.5 {
+		t.Fatalf("window p50 = %.0f, want ~1e6", q)
+	}
+	if q := after.Quantile(0.50); q > 2000 {
+		t.Fatalf("cumulative p50 = %.0f, want low mode", q)
+	}
+	if win.Scale != 1e9 {
+		t.Fatalf("scale not propagated: %v", win.Scale)
+	}
+	if win.Sum != 1000*1_000_000 {
+		t.Fatalf("window sum = %d", win.Sum)
+	}
+}
+
+func TestHistSnapshotFractionAbove(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("fa", "", nil)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		bound, want, tol float64
+	}{
+		{0, 1.0, 0.02},
+		// Bucket-boundary bounds count exactly (no interpolation).
+		{65_536, 0.34464, 0.01},
+		{32_768, 0.67232, 0.01},
+		// Mid-bucket bounds interpolate; the distribution's max cuts the
+		// last bucket short, so the estimate is only bucket-accurate.
+		{50_000, 0.5, 0.05},
+		{90_000, 0.1, 0.15},
+		{200_000, 0.0, 0.001},
+	} {
+		got := s.FractionAbove(tc.bound)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("FractionAbove(%.0f) = %.4f, want %.2f ± %.3f", tc.bound, got, tc.want, tc.tol)
+		}
+	}
+	var empty HistSnapshot
+	if empty.FractionAbove(10) != 0 {
+		t.Fatal("empty snapshot should report 0")
+	}
+}
+
+func TestRegistryFindLookups(t *testing.T) {
+	r := NewRegistry()
+	if r.FindHistogram("nope", nil) != nil || r.FindCounter("nope", nil) != nil {
+		t.Fatal("lookup of unregistered family must return nil")
+	}
+	h := r.Histogram("h", "", Labels{"shard": "0"})
+	c := r.Counter("c", "", nil)
+	if r.FindHistogram("h", Labels{"shard": "0"}) != h {
+		t.Fatal("FindHistogram missed registered series")
+	}
+	if r.FindHistogram("h", Labels{"shard": "1"}) != nil {
+		t.Fatal("FindHistogram must not match a different label set")
+	}
+	if r.FindCounter("c", nil) != c {
+		t.Fatal("FindCounter missed registered series")
+	}
+	// Type mismatch returns nil instead of panicking.
+	if r.FindCounter("h", Labels{"shard": "0"}) != nil {
+		t.Fatal("FindCounter must not return a histogram")
+	}
+	if r.FindHistogram("c", nil) != nil {
+		t.Fatal("FindHistogram must not return a counter")
+	}
+}

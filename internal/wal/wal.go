@@ -172,6 +172,10 @@ type Log struct {
 	metFsync  *obs.Histogram
 	metBatch  *obs.Histogram
 
+	// jr receives segment lifecycle events (rotation, truncation) —
+	// per-segment, not per-append, so recording cost is negligible.
+	jr *obs.Journal
+
 	// testHookBeforeCommit, when set, runs in the committer just before each
 	// batch write (test-only: lets tests hold a batch open to fill the queue).
 	testHookBeforeCommit func()
@@ -212,6 +216,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		"fsync portion of each WAL group commit (absent samples under NoSync).", nil)
 	l.metBatch = reg.SizeHistogram("terids_wal_batch_entries",
 		"Entries per WAL group-commit batch (how well concurrent submitters amortize each fsync).", nil)
+	l.jr = obs.DefaultJournal()
 
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -496,6 +501,8 @@ func (l *Log) commit(entries []Entry) error {
 		if err != nil {
 			return err
 		}
+		l.jr.Record("wal_rotate", "opened a new WAL segment",
+			map[string]any{"first_seq": entries[0].Seq, "path": path})
 		// The new directory entry must be durable before any batch in this
 		// segment is acknowledged: fsyncing the file alone does not persist
 		// its name, and a power loss could otherwise drop a whole
@@ -544,12 +551,18 @@ func (l *Log) commit(entries []Entry) error {
 func (l *Log) TruncateBefore(seq int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	removed := 0
 	for len(l.segs) >= 2 && l.segs[1].first <= seq {
 		if err := os.Remove(l.segs[0].path); err != nil {
 			return err
 		}
 		l.total -= l.segs[0].size
 		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.jr.Record("wal_truncate", "removed WAL segments below the checkpoint watermark",
+			map[string]any{"segments": removed, "watermark": seq, "first_seq": l.segs[0].first})
 	}
 	return nil
 }
