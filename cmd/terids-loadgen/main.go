@@ -8,6 +8,8 @@
 // silently omitted. A mixed read load rides along: -followers live
 // /results tails and, with -replay-every, periodic /results?from=0 cursor
 // reads that exercise the replay ring (and deep replay on a durable server).
+// -replica-addr points that read mix at a follower replica (-follow) while
+// ingest keeps targeting the writer at -addr.
 //
 // The run summary — achieved rate, p50/p95/p99/p999, error and 429 counts,
 // per-phase breakdown — is written to -out (LOADGEN.json). With -check, the
@@ -50,6 +52,7 @@ func main() {
 		wait      = flag.Bool("wait", false, "use blocking ingest (?wait=1) instead of shedding 429s")
 		followers = flag.Int("followers", 0, "concurrent live /results followers")
 		replayEvy = flag.Duration("replay-every", 0, "period between /results?from=0 replay-cursor reads (0 = off)")
+		replica   = flag.String("replica-addr", "", "base URL of a follower replica to aim the read mix at (ingest still targets -addr)")
 		name      = flag.String("dataset", "Citations", "dataset profile generating the arrival records (must match the server)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor for record generation")
 		seed      = flag.Int64("seed", 99, "generation seed for the records")
@@ -100,7 +103,7 @@ func main() {
 		Phases:  phases,
 		Records: records,
 		Workers: *workers, Batch: *batch, Wait: *wait,
-		Followers: *followers, ReplayEvery: *replayEvy,
+		Followers: *followers, ReplayEvery: *replayEvy, ReplicaURL: *replica,
 		Logf: log.Printf,
 	})
 	if err != nil && rep.Sent == 0 {

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"terids/internal/engine"
+	"terids/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFollowerHTTPModeAndPromotion is the serving-layer replica contract:
+// a follower server refuses writes with a reasoned 503, serves reads
+// identical to the writer's state, refuses promotion while the writer is
+// alive, and after the writer dies flips to a fully functional writer on
+// POST /promote — ingest resumes on the same process.
+func TestFollowerHTTPModeAndPromotion(t *testing.T) {
+	f := loadServeFixture(t)
+	n := len(f.stream)
+	cut := n / 2
+	dir := t.TempDir()
+
+	w, err := engine.OpenDurable(f.sh, engine.Config{Core: f.cfg, Shards: 2},
+		engine.DurableConfig{Dir: dir, NoSync: true, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writerOpen := true
+	defer func() {
+		if writerOpen {
+			_ = w.Close(false)
+		}
+	}()
+
+	srv := newServer(f.sh.Schema, 1024, 0, "")
+	srv.streams = f.cfg.Streams
+	fol, err := engine.OpenFollower(f.sh,
+		engine.Config{Core: f.cfg, Shards: 2, OnResult: srv.onResult},
+		engine.FollowerConfig{Dir: dir, Poll: 2 * time.Millisecond,
+			Durable: engine.DurableConfig{NoSync: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.eng = fol.Eng
+	srv.fol = fol
+	srv.mode.Store(modeFollowing)
+	srv.ready.Store(true)
+	ts := httptest.NewServer(srv.routes())
+	defer func() {
+		close(srv.done)
+		ts.Close()
+		if d := srv.durable(); d != nil {
+			_ = d.Close(false)
+		}
+		_ = fol.Close()
+	}()
+
+	for _, r := range f.stream[:cut] {
+		if err := w.Eng.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "follower caught up over HTTP", func() bool {
+		return fol.Eng.Completed() == int64(cut) && fol.Lag() == 0
+	})
+
+	// Writes are refused with the promotion hint while following.
+	for _, path := range []string{"/ingest", "/rebalance"} {
+		resp, err := http.Post(ts.URL+path, "application/x-ndjson", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s on a follower = %d, want 503", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "read-only replica") {
+			t.Fatalf("POST %s 503 body %q does not name the follower role", path, body)
+		}
+	}
+
+	// Promotion is refused while the writer holds the liveness lock.
+	resp, err := http.Post(ts.URL+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote with a live writer = %d, want 409", resp.StatusCode)
+	}
+
+	// /stats carries the follower block.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	folStats, ok := stats["follower"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no follower block: %v", stats)
+	}
+	if alive, _ := folStats["writer_alive"].(bool); !alive {
+		t.Fatalf("follower stats do not report the live writer: %v", folStats)
+	}
+
+	// The writer dies; takeover succeeds and is idempotent.
+	if err := w.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	writerOpen = false
+	promote := func() map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/promote", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("promote after writer death = %d: %s", resp.StatusCode, body)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := promote()
+	if got, _ := first["resume_seq"].(float64); int64(got) != int64(cut) {
+		t.Fatalf("promotion resumed at %v, want %d", first["resume_seq"], cut)
+	}
+	again := promote()
+	if already, _ := again["already"].(bool); !already {
+		t.Fatalf("second promote did not report the promoted state: %v", again)
+	}
+
+	// Ingest resumes on the promoted process, through the durable path.
+	resp, err = http.Post(ts.URL+"/ingest?wait=1", "application/x-ndjson",
+		strings.NewReader(ndjson(t, f.stream[cut:])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingest map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ingest); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after promotion = %d: %v", resp.StatusCode, ingest)
+	}
+	if got, _ := ingest["accepted"].(float64); int(got) != n-cut {
+		t.Fatalf("promoted ingest accepted %v records, want %d", ingest["accepted"], n-cut)
+	}
+	waitFor(t, "promoted pipeline drain", func() bool {
+		return fol.Eng.Completed() == int64(n)
+	})
+	if got := srv.durable().Log.Stats().NextSeq; got != int64(n) {
+		t.Fatalf("wal frontier %d after promoted ingest, want %d", got, n)
+	}
+}
+
+// TestPromoteOnWriter verifies a process started without -follow refuses
+// promotion outright.
+func TestPromoteOnWriter(t *testing.T) {
+	f := loadServeFixture(t)
+	_, ts := startServer(t, f, 2, 64, nil)
+	resp, err := http.Post(ts.URL+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote on a writer = %d, want 409", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "not a follower") {
+		t.Fatalf("409 body %q does not explain the role", body)
+	}
+}
+
+// TestEventsCursorEvicted pins the /events?from= contract: an explicit
+// cursor below the journal ring's oldest retained event gets an explicit
+// 410 naming the oldest reachable sequence, instead of a silent resume
+// that skips the gap; cursors at or above it (and requests without a
+// cursor) serve normally.
+func TestEventsCursorEvicted(t *testing.T) {
+	f := loadServeFixture(t)
+	srv, ts := startServer(t, f, 2, 64, nil)
+	srv.jr = obs.NewJournal(4)
+	for i := 0; i < 10; i++ {
+		srv.jr.Record("tick", "test event", nil)
+	}
+	oldest := srv.jr.OldestSeq() // 6: events 0-5 evicted
+
+	resp, err := http.Get(ts.URL + "/events?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted cursor = %d, want 410", resp.StatusCode)
+	}
+	var gone map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, _ := gone["oldest_retained"].(float64); int64(got) != oldest {
+		t.Fatalf("410 names oldest_retained %v, want %d", gone["oldest_retained"], oldest)
+	}
+
+	lines := func(url string) (int, int) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		n := 0
+		for _, ln := range strings.Split(string(body), "\n") {
+			if strings.TrimSpace(ln) != "" {
+				n++
+			}
+		}
+		return resp.StatusCode, n
+	}
+	if code, got := lines(ts.URL + "/events?from=6"); code != http.StatusOK || got != 4 {
+		t.Fatalf("from=oldest: status %d with %d events, want 200 with 4", code, got)
+	}
+	if code, got := lines(ts.URL + "/events"); code != http.StatusOK || got != 4 {
+		t.Fatalf("no cursor: status %d with %d events, want 200 with 4", code, got)
+	}
+	if code, got := lines(ts.URL + "/events?from=99"); code != http.StatusOK || got != 0 {
+		t.Fatalf("future cursor: status %d with %d events, want 200 with 0", code, got)
+	}
+}

@@ -40,6 +40,15 @@ func newResultRing(capacity int, base int64) *resultRing {
 // merger goroutine), so it must stay O(1).
 func (r *resultRing) add(res engine.Result) {
 	r.mu.Lock()
+	if res.Seq != r.next && r.n > 0 {
+		// Discontinuity: the sequence jumped (a follower's checkpoint
+		// catch-up skips the truncated range — those results were never
+		// emitted here). The retained window must restart at the jump, or
+		// since() would serve the stale pre-jump slots as if they covered
+		// [next-n, next).
+		r.n = 0
+		r.base = res.Seq
+	}
 	r.buf[res.Seq%int64(len(r.buf))] = res
 	r.next = res.Seq + 1
 	if r.n < len(r.buf) {

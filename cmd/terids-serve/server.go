@@ -18,11 +18,20 @@ import (
 	"terids/internal/obs"
 	"terids/internal/snapshot"
 	"terids/internal/tuple"
+	"terids/internal/wal"
 )
 
 // deepReplayWriteTimeout bounds each result write while a deep replay holds
 // the server's single replay slot (see server.deepSem).
 const deepReplayWriteTimeout = 30 * time.Second
+
+// Serving roles. A process starts as a writer (standalone or -wal-dir) or
+// a follower (-follow); promotion is the only transition.
+const (
+	modeWriter    int32 = iota // owns ingest; the default role
+	modeFollowing              // read-only replica tailing a writer's WAL
+	modePromoted               // replica that has taken over as the writer
+)
 
 // server wires the engine into HTTP handlers, a live result broadcaster,
 // and the bounded replay ring behind /results?from=.
@@ -47,8 +56,19 @@ type server struct {
 	streams int
 	// dur, when non-nil, is the durability subsystem handle (-wal-dir). Its
 	// health shows up in /stats, and /results?from= cursors below the ring
-	// are served by WAL-backed deep replay instead of a 410.
-	dur *engine.Durable
+	// are served by WAL-backed deep replay instead of a 410. Atomic because
+	// a follower's promotion installs it while the listener is serving.
+	dur atomic.Pointer[engine.Durable]
+	// fol is the follower replica handle (-follow). Handlers only read it
+	// after observing mode != modeWriter: main stores s.fol before
+	// mode.Store(modeFollowing), so that atomic pair is the happens-before
+	// edge (same pattern as s.eng behind ready).
+	fol *engine.Follower
+	// mode is the serving role; promotion moves it following → promoted.
+	mode atomic.Int32
+	// promoteMu serializes promotion attempts (manual POST /promote racing
+	// the writer-loss auto-promoter).
+	promoteMu sync.Mutex
 	// replayDepth bounds how many arrivals one deep replay may re-run
 	// (-replay-depth; 0 = unlimited).
 	replayDepth int64
@@ -119,6 +139,10 @@ func newServer(schema *tuple.Schema, ringCap int, ringBase int64, ckptDir string
 	return s
 }
 
+// durable returns the durability subsystem handle: nil without -wal-dir,
+// installed at boot for a writer, at promotion for a follower.
+func (s *server) durable() *engine.Durable { return s.dur.Load() }
+
 // notReadyReason is the body a gated endpoint or /readyz returns while the
 // server is not ready to take traffic.
 func (s *server) notReadyReason() string {
@@ -159,11 +183,82 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("POST /debug/dump", s.handleDump)
+	// Promotion is deliberately NOT readiness-gated: a follower whose writer
+	// died mid-catch-up must still be promotable (Promote itself replays the
+	// un-tailed WAL remainder before taking over).
+	mux.HandleFunc("POST /promote", s.handlePromote)
 	return mux
 }
 
-// handleEvents serves the lifecycle event journal as NDJSON, oldest first;
-// ?from=seq resumes from a cursor (clamped to the oldest retained event).
+// refuseOnFollower guards a write endpoint: a follower replica is read-only
+// until promoted. Returns true when the 503 was written.
+func (s *server) refuseOnFollower(rw http.ResponseWriter) bool {
+	if s.mode.Load() != modeFollowing {
+		return false
+	}
+	http.Error(rw, "follower: read-only replica (POST /promote to take over)",
+		http.StatusServiceUnavailable)
+	return true
+}
+
+// handlePromote turns a follower replica into the writer: seal at the WAL
+// frontier (refused while the old writer's liveness lock is held), replay
+// the un-tailed remainder, attach the log, and reopen /ingest and
+// /rebalance. Idempotent — repeating the POST reports the promoted state.
+func (s *server) handlePromote(rw http.ResponseWriter, _ *http.Request) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	switch s.mode.Load() {
+	case modeWriter:
+		http.Error(rw, "not a follower replica (started without -follow)", http.StatusConflict)
+		return
+	case modePromoted:
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"promoted": true, "already": true, "resume_seq": s.durable().ResumeSeq(),
+		})
+		return
+	}
+	d, err := s.promote("http")
+	if err != nil {
+		if errors.Is(err, wal.ErrLocked) {
+			http.Error(rw, fmt.Sprintf("writer still alive: %v", err), http.StatusConflict)
+			return
+		}
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"promoted": true, "resume_seq": d.ResumeSeq(),
+	})
+}
+
+// promote runs the takeover under promoteMu (held by the caller) and flips
+// the serving role. A promoted replica is ready by construction: Promote
+// returns only after every durable arrival ran through the pipeline, so the
+// replica IS the frontier now.
+func (s *server) promote(trigger string) (*engine.Durable, error) {
+	d, err := s.fol.Promote()
+	if err != nil {
+		return nil, err
+	}
+	s.dur.Store(d)
+	s.mode.Store(modePromoted)
+	s.readyReason.Store("")
+	s.ready.Store(true)
+	s.jr.Record("promote", "follower took over as writer", map[string]any{
+		"trigger": trigger, "resume_seq": d.ResumeSeq(),
+	})
+	return d, nil
+}
+
+// handleEvents serves the lifecycle event journal as NDJSON, oldest first.
+// ?from=seq resumes from a cursor; an explicit cursor that has fallen off
+// the journal's ring gets 410 Gone naming the oldest retained sequence —
+// a resuming consumer must learn it has a gap, not silently skip it.
+// Without ?from=, everything retained is served (there is no cursor to
+// invalidate).
 func (s *server) handleEvents(rw http.ResponseWriter, req *http.Request) {
 	from := int64(0)
 	if q := req.URL.Query().Get("from"); q != "" {
@@ -171,6 +266,10 @@ func (s *server) handleEvents(rw http.ResponseWriter, req *http.Request) {
 		if err != nil || v < 0 {
 			http.Error(rw, fmt.Sprintf("bad from=%q: non-negative integer required", q),
 				http.StatusBadRequest)
+			return
+		}
+		if oldest := s.jr.OldestSeq(); v < oldest {
+			writeGone(rw, fmt.Sprintf("events before seq %d have been evicted from the journal ring", oldest), oldest)
 			return
 		}
 		from = v
@@ -353,6 +452,9 @@ func (s *server) unsubscribe(ch chan engine.Result) {
 // or rejected atomically; "accepted" in the reply counts only submitted
 // records, so after an error the client resumes from accepted+1.
 func (s *server) handleIngest(rw http.ResponseWriter, req *http.Request) {
+	if s.refuseOnFollower(rw) {
+		return
+	}
 	wait := req.URL.Query().Get("wait") == "1"
 	sc := bufio.NewScanner(req.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -618,8 +720,8 @@ func (s *server) handleResults(rw http.ResponseWriter, req *http.Request) {
 // served from: the durability layer's deep-replay reach when it extends
 // below the ring, the ring's tail otherwise.
 func (s *server) replayReach(ringOldest int64) int64 {
-	if s.dur != nil {
-		if reach, ok := s.dur.DeepReach(); ok && reach < ringOldest {
+	if d := s.durable(); d != nil {
+		if reach, ok := d.DeepReach(); ok && reach < ringOldest {
 			return reach
 		}
 	}
@@ -646,7 +748,8 @@ func writeGone(rw http.ResponseWriter, msg string, oldest int64) {
 // error, or mid-stream failure).
 func (s *server) deepReplay(rw http.ResponseWriter, req *http.Request, fl http.Flusher,
 	enc *json.Encoder, cursor *int64, started *bool, ringOldest int64) bool {
-	if s.dur == nil {
+	dur := s.durable()
+	if dur == nil {
 		if !*started {
 			writeGone(rw, fmt.Sprintf("results before seq %d are no longer retained", ringOldest), ringOldest)
 		}
@@ -671,7 +774,7 @@ func (s *server) deepReplay(rw http.ResponseWriter, req *http.Request, fl http.F
 
 	start := *cursor
 	joined, failed := false, false
-	err := s.dur.DeepReplay(req.Context(), start, ringOldest, s.replayDepth, func(res engine.Result) bool {
+	err := dur.DeepReplay(req.Context(), start, ringOldest, s.replayDepth, func(res engine.Result) bool {
 		if joined || failed {
 			return false
 		}
@@ -771,6 +874,9 @@ func (s *server) handleSnapshot(rw http.ResponseWriter, req *http.Request) {
 // per-topic resident load unless ?weighted=0 asks for the uniform modulo
 // table. Responds with the before/after imbalance and the barrier latency.
 func (s *server) handleRebalance(rw http.ResponseWriter, req *http.Request) {
+	if s.refuseOnFollower(rw) {
+		return
+	}
 	before := s.eng.Stats()
 	k := before.Shards
 	if q := req.URL.Query().Get("shards"); q != "" {
@@ -840,8 +946,9 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		// -wal-dir, which deep replay requires.
 		"deep_replays": int64(0),
 	}
-	if s.dur != nil {
-		replayStats["deep_replays"] = s.dur.Stats().DeepReplays
+	dur := s.durable()
+	if dur != nil {
+		replayStats["deep_replays"] = dur.Stats().DeepReplays
 	}
 	payload := map[string]any{
 		"engine": st,
@@ -864,8 +971,13 @@ func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		"rate_limited":    s.rateLimited.Load(),
 		"uptime_seconds":  time.Since(s.started).Seconds(),
 	}
-	if s.dur != nil {
-		payload["durability"] = s.dur.Stats()
+	if dur != nil {
+		payload["durability"] = dur.Stats()
+	}
+	if s.mode.Load() != modeWriter {
+		// Follower health: tail cursor, frontier, lag, catch-up counters,
+		// writer liveness — still reported after promotion (Promoted=true).
+		payload["follower"] = s.fol.Stats()
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(rw).Encode(payload)

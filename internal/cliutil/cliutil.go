@@ -97,6 +97,11 @@ type Rebalance struct {
 	// ShardsSet reports that the user passed -shards explicitly (commands
 	// without -auto-shards pass false).
 	ShardsSet bool
+	// Follower reports that the process runs as a read-only replica
+	// (-follow): the skew monitor is meaningless there — the follower
+	// adopts the writer's layout from its checkpoints instead of making
+	// local placement decisions.
+	Follower bool
 }
 
 // Validate checks the rebalance flag combinations, joining all violations
@@ -121,6 +126,10 @@ func (r Rebalance) Validate() error {
 		errs = append(errs, errors.New(
 			"-auto-shards and -shards are mutually exclusive: auto-sharding picks and adapts the shard count itself"))
 	}
+	if r.Follower && (r.Threshold > 0 || r.Interval > 0) {
+		errs = append(errs, errors.New(
+			"-rebalance-threshold/-rebalance-interval are incompatible with -follow: a follower adopts the writer's layout from its checkpoints"))
+	}
 	return errors.Join(errs...)
 }
 
@@ -132,6 +141,12 @@ type Durability struct {
 	// WALDir is -wal-dir (terids-serve) / -wal (terids): the durability
 	// root. Empty disables the subsystem.
 	WALDir string
+	// Follow is -follow (terids-serve): a writer's durability root to tail
+	// as a read-only follower replica. Mutually exclusive with WALDir and
+	// Restore — a process is the writer of a directory or its follower,
+	// never both; the checkpoint flags stay valid because they configure
+	// the checkpointer the replica starts if it is promoted to writer.
+	Follow string
 	// Restore is -restore: an explicit checkpoint file to boot from.
 	Restore string
 	// CheckpointInterval is -checkpoint-interval: the background
@@ -154,12 +169,20 @@ func (d Durability) Validate() error {
 		errs = append(errs, errors.New(
 			"-restore and the WAL directory flag are mutually exclusive: the WAL directory auto-recovers from its own newest checkpoint"))
 	}
+	if d.Follow != "" && d.WALDir != "" {
+		errs = append(errs, errors.New(
+			"-follow and the WAL directory flag are mutually exclusive: a process either writes a durability root or tails one as a replica"))
+	}
+	if d.Follow != "" && d.Restore != "" {
+		errs = append(errs, errors.New(
+			"-follow and -restore are mutually exclusive: a follower boots from the tailed directory's own newest checkpoint"))
+	}
 	if d.CheckpointInterval < 0 {
 		errs = append(errs, fmt.Errorf("-checkpoint-interval %v, need >= 0 (0 = disabled)", d.CheckpointInterval))
 	}
-	if d.CheckpointInterval > 0 && d.WALDir == "" {
+	if d.CheckpointInterval > 0 && d.WALDir == "" && d.Follow == "" {
 		errs = append(errs, errors.New(
-			"-checkpoint-interval requires the WAL directory flag: periodic checkpoints are written under it"))
+			"-checkpoint-interval requires the WAL directory flag (or -follow, where it arms the post-promotion checkpointer): periodic checkpoints are written under it"))
 	}
 	if d.CheckpointKeep < 1 {
 		errs = append(errs, fmt.Errorf("-checkpoint-keep %d, need >= 1", d.CheckpointKeep))
@@ -167,9 +190,9 @@ func (d Durability) Validate() error {
 	if d.CheckpointDelta < 0 {
 		errs = append(errs, fmt.Errorf("-checkpoint-delta %d, need >= 0 (0 = full snapshots only)", d.CheckpointDelta))
 	}
-	if d.CheckpointDelta > 0 && d.WALDir == "" {
+	if d.CheckpointDelta > 0 && d.WALDir == "" && d.Follow == "" {
 		errs = append(errs, errors.New(
-			"-checkpoint-delta requires the WAL directory flag: delta checkpoints are written by its background checkpointer"))
+			"-checkpoint-delta requires the WAL directory flag (or -follow): delta checkpoints are written by its background checkpointer"))
 	}
 	return errors.Join(errs...)
 }

@@ -205,6 +205,12 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		}
 		if err != nil && !errors.Is(err, errReplayStopped) {
 			eng.Close()
+			if errors.Is(err, wal.ErrTruncated) {
+				// The checkpointer truncated the range out from under the
+				// replay: coverage is gone, which is a 410 to the caller,
+				// not a server error.
+				return fmt.Errorf("%w: %v", ErrNoReplayCoverage, err)
+			}
 			return fmt.Errorf("engine: deep replay: %w", err)
 		}
 		if err != nil {

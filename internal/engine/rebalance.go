@@ -28,6 +28,7 @@ import (
 
 	"terids/internal/snapshot"
 	"terids/internal/stream"
+	"terids/internal/tuple"
 )
 
 // LayoutSlots is the size of the topic-hash slot table. 256 slots gives the
@@ -353,7 +354,7 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 		return err
 	}
 	e.stateMu.Lock()
-	err = e.rebuild(l, c)
+	_, err = e.rebuild(l, c)
 	e.stateMu.Unlock()
 	if err != nil {
 		// The old pipeline is gone and the new one never started: the engine
@@ -394,10 +395,12 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 func (e *Engine) Rebalancing() bool { return e.rebalancing.Load() }
 
 // rebuild replaces the routing/window/shard state under layout l and
-// reloads the checkpointed residents. Caller holds subMu and stateMu with
-// every pipeline goroutine stopped; the result set and progress counters
-// are already consistent at the watermark and are left untouched.
-func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
+// reloads the checkpointed residents, returning the restored resident
+// records (a follower catch-up needs them to rebuild the result set;
+// rebalance discards them — its results are already consistent at the
+// watermark). Caller holds subMu and stateMu with every pipeline goroutine
+// stopped; the result set and progress counters are left untouched.
+func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) ([]*tuple.Record, error) {
 	// Every fallible construction happens into locals first: a failure here
 	// must not publish half-built state (a shards slice with nil entries
 	// would panic a concurrent Stats/Imbalance reader).
@@ -409,14 +412,14 @@ func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
 		for i := range timeWins {
 			tw, err := stream.NewTimeWindow(cc.TimeSpan)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			timeWins[i] = tw
 		}
 	} else {
 		mw, err := stream.NewMultiWindow(cc.Streams, cc.WindowSize)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		windows = mw
 	}
@@ -425,7 +428,7 @@ func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
 	for i := 0; i < l.K; i++ {
 		g, err := e.step.NewGrid()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		shardCh[i] = make(chan shardCmd, e.cfg.QueueDepth)
 		shards[i] = newShard(i, e, g)
@@ -448,10 +451,7 @@ func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) error {
 	}
 	e.shardCh, e.shards = shardCh, shards
 	e.startSeq = c.Seq
-	if _, err := e.loadResidents(c); err != nil {
-		return err
-	}
-	return nil
+	return e.loadResidents(c)
 }
 
 // startMonitor launches the skew monitor when the config enables it. Called

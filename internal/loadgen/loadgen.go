@@ -54,6 +54,10 @@ type Config struct {
 
 	Followers   int           // concurrent live /results followers (read mix)
 	ReplayEvery time.Duration // period between /results?from=0 deep-cursor reads (0 = off)
+	// ReplicaURL, when set, aims the read mix (live followers and replay
+	// reads) at a follower replica while ingest keeps hitting BaseURL —
+	// the writer/replica split a scaled-out read path runs in production.
+	ReplicaURL string
 
 	Client *http.Client
 	Logf   func(string, ...any)
@@ -242,7 +246,12 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 
 	// Read mix: live followers tail /results for the whole run; the replay
 	// reader periodically re-reads history from sequence zero, exercising the
-	// ring (and deep replay on a durable server).
+	// ring (and deep replay on a durable server). With ReplicaURL the reads
+	// go to the follower replica instead of the ingest target.
+	readURL := cfg.BaseURL
+	if cfg.ReplicaURL != "" {
+		readURL = cfg.ReplicaURL
+	}
 	readCtx, stopReads := context.WithCancel(ctx)
 	defer stopReads()
 	var readWG sync.WaitGroup
@@ -250,7 +259,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		readWG.Add(1)
 		go func() {
 			defer readWG.Done()
-			req, err := http.NewRequestWithContext(readCtx, "GET", cfg.BaseURL+"/results", nil)
+			req, err := http.NewRequestWithContext(readCtx, "GET", readURL+"/results", nil)
 			if err != nil {
 				return
 			}
@@ -284,7 +293,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 				func() {
 					rctx, cancel := context.WithTimeout(readCtx, 10*time.Second)
 					defer cancel()
-					req, err := http.NewRequestWithContext(rctx, "GET", cfg.BaseURL+"/results?from=0", nil)
+					req, err := http.NewRequestWithContext(rctx, "GET", readURL+"/results?from=0", nil)
 					if err != nil {
 						return
 					}

@@ -92,6 +92,23 @@ func (j *Journal) NextSeq() int64 {
 	return j.n
 }
 
+// OldestSeq returns the sequence number of the oldest event still
+// retained in the ring (== NextSeq when the journal is empty). Cursors
+// below it have fallen off the ring; servers use it to report the gap
+// explicitly instead of silently resuming.
+func (j *Journal) OldestSeq() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	retained := j.n
+	if retained > int64(len(j.buf)) {
+		retained = int64(len(j.buf))
+	}
+	return j.n - retained
+}
+
 // Snapshot returns every retained event, oldest first.
 func (j *Journal) Snapshot() []Event {
 	return j.Since(0)

@@ -59,8 +59,31 @@ func TestJournalOverwritesOldest(t *testing.T) {
 func TestJournalNilSafe(t *testing.T) {
 	var j *Journal
 	j.Record("x", "", nil) // must not panic
-	if j.Snapshot() != nil || j.NextSeq() != 0 {
+	if j.Snapshot() != nil || j.NextSeq() != 0 || j.OldestSeq() != 0 {
 		t.Fatal("nil journal should be empty")
+	}
+}
+
+func TestJournalOldestSeq(t *testing.T) {
+	j := NewJournal(4)
+	if j.OldestSeq() != 0 {
+		t.Fatalf("empty journal OldestSeq = %d, want 0", j.OldestSeq())
+	}
+	for i := 0; i < 3; i++ {
+		j.Record("e", "", nil)
+	}
+	if j.OldestSeq() != 0 {
+		t.Fatalf("unwrapped OldestSeq = %d, want 0", j.OldestSeq())
+	}
+	for i := 0; i < 7; i++ {
+		j.Record("e", "", nil)
+	}
+	// 10 recorded, 4 retained: seqs 6..9 survive.
+	if j.OldestSeq() != 6 {
+		t.Fatalf("wrapped OldestSeq = %d, want 6", j.OldestSeq())
+	}
+	if evs := j.Snapshot(); evs[0].Seq != j.OldestSeq() {
+		t.Fatalf("Snapshot oldest %d != OldestSeq %d", evs[0].Seq, j.OldestSeq())
 	}
 }
 

@@ -146,11 +146,24 @@ func ParseSLO(spec string) (Objective, error) {
 	return obj, nil
 }
 
-// splitTopLevel finds sep outside any {...} label selector, or -1.
+// splitTopLevel finds sep outside any {...} label selector and outside
+// double-quoted label values, or -1.
 func splitTopLevel(s string, sep byte) int {
 	depth := 0
+	inQuote := false
 	for i := 0; i < len(s); i++ {
-		switch s[i] {
+		c := s[i]
+		if inQuote {
+			if c == '\\' {
+				i++ // skip the escaped character
+			} else if c == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
 		case '{':
 			depth++
 		case '}':
@@ -164,7 +177,10 @@ func splitTopLevel(s string, sep byte) int {
 	return -1
 }
 
-// parseFamily splits "family{k=v,k2=v2}" into name and labels.
+// parseFamily splits "family{k=v,k2=v2}" into name and labels. Values may
+// be double-quoted, and a quoted value may contain commas, braces, and
+// backslash-escaped quotes — the selector body is split only on commas
+// that sit outside quotes, never blindly on every comma.
 func parseFamily(s string) (string, Labels, error) {
 	brace := strings.IndexByte(s, '{')
 	if brace < 0 {
@@ -181,7 +197,7 @@ func parseFamily(s string) (string, Labels, error) {
 		return "", nil, fmt.Errorf("empty metric family")
 	}
 	lbl := Labels{}
-	for _, pair := range strings.Split(s[brace+1:len(s)-1], ",") {
+	for _, pair := range splitLabelPairs(s[brace+1 : len(s)-1]) {
 		if pair == "" {
 			continue
 		}
@@ -189,9 +205,63 @@ func parseFamily(s string) (string, Labels, error) {
 		if eq <= 0 {
 			return "", nil, fmt.Errorf("bad label pair %q", pair)
 		}
-		lbl[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+		val, err := unquoteLabelValue(pair[eq+1:])
+		if err != nil {
+			return "", nil, fmt.Errorf("bad label pair %q: %v", pair, err)
+		}
+		lbl[pair[:eq]] = val
 	}
 	return name, lbl, nil
+}
+
+// splitLabelPairs splits a selector body on commas outside double quotes,
+// so family{path="a,b"} stays one pair.
+func splitLabelPairs(s string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// unquoteLabelValue strips the optional surrounding double quotes from a
+// label value, resolving \" and \\ escapes inside a quoted value.
+func unquoteLabelValue(v string) (string, error) {
+	if len(v) == 0 || v[0] != '"' {
+		if strings.ContainsRune(v, '"') {
+			return "", fmt.Errorf("stray quote in value %q", v)
+		}
+		return v, nil
+	}
+	if len(v) < 2 || v[len(v)-1] != '"' {
+		return "", fmt.Errorf("unterminated quote in value %q", v)
+	}
+	body := v[1 : len(v)-1]
+	if !strings.ContainsRune(body, '\\') {
+		return body, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), nil
 }
 
 // ParseSLOFile parses one spec per line; blank lines and #-comments are

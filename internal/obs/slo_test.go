@@ -35,6 +35,77 @@ func TestParseSLOLatencyLabelsAndP999(t *testing.T) {
 	}
 }
 
+func TestParseFamilyQuotedValues(t *testing.T) {
+	cases := []struct {
+		in     string
+		name   string
+		labels Labels
+		err    bool
+	}{
+		{in: "fam", name: "fam", labels: nil},
+		{in: "fam{shard=0}", name: "fam", labels: Labels{"shard": "0"}},
+		{in: `fam{shard="0"}`, name: "fam", labels: Labels{"shard": "0"}},
+		// The bug this guards against: a quoted value containing a comma
+		// must stay one pair, not split into a bogus-pair error.
+		{in: `fam{path="a,b"}`, name: "fam", labels: Labels{"path": "a,b"}},
+		{in: `fam{path="a,b",shard=1}`, name: "fam", labels: Labels{"path": "a,b", "shard": "1"}},
+		{in: `fam{a="x",b="y,z",c=3}`, name: "fam", labels: Labels{"a": "x", "b": "y,z", "c": "3"}},
+		// Escaped quotes and backslashes inside a quoted value.
+		{in: `fam{msg="say \"hi\""}`, name: "fam", labels: Labels{"msg": `say "hi"`}},
+		{in: `fam{p="a\\b"}`, name: "fam", labels: Labels{"p": `a\b`}},
+		// Braces inside quotes must not confuse the selector.
+		{in: `fam{tpl="{x}"}`, name: "fam", labels: Labels{"tpl": "{x}"}},
+		{in: `fam{v="unterminated}`, err: true},
+		{in: `fam{v=str"ay}`, err: true},
+		{in: `fam{=v}`, err: true},
+		{in: `fam{novalue}`, err: true},
+	}
+	for _, tc := range cases {
+		name, lbl, err := parseFamily(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseFamily(%q) = %q %v, want error", tc.in, name, lbl)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFamily(%q): %v", tc.in, err)
+			continue
+		}
+		if name != tc.name {
+			t.Errorf("parseFamily(%q) name = %q, want %q", tc.in, name, tc.name)
+		}
+		if len(lbl) != len(tc.labels) {
+			t.Errorf("parseFamily(%q) labels = %v, want %v", tc.in, lbl, tc.labels)
+			continue
+		}
+		for k, want := range tc.labels {
+			if lbl[k] != want {
+				t.Errorf("parseFamily(%q) labels[%q] = %q, want %q", tc.in, k, lbl[k], want)
+			}
+		}
+	}
+}
+
+func TestParseSLOQuotedLabelSpec(t *testing.T) {
+	// End to end through ParseSLO: the comma inside the quoted value must
+	// not be taken as a pair separator, and quoted ':' / '/' must not be
+	// taken as spec structure.
+	obj, err := ParseSLO(`paths:terids_impute_seconds{path="a,b",op=":/"}:p99<250ms`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Family != "terids_impute_seconds" {
+		t.Fatalf("family = %q", obj.Family)
+	}
+	if obj.FamilyLabels["path"] != "a,b" || obj.FamilyLabels["op"] != ":/" {
+		t.Fatalf("labels = %v", obj.FamilyLabels)
+	}
+	if obj.Quantile != 0.99 || obj.BoundRaw != 250e6 {
+		t.Fatalf("parsed %+v", obj)
+	}
+}
+
 func TestParseSLORatio(t *testing.T) {
 	obj, err := ParseSLO("errors:terids_rejected_total/terids_arrivals_total<0.01")
 	if err != nil {

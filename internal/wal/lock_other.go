@@ -1,0 +1,18 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix builds have no flock: writer exclusion and the liveness probe
+// are disabled. Open always succeeds and WriterAlive always reports false,
+// so follower auto-promotion must be driven explicitly (POST /promote) on
+// these platforms.
+
+func acquireDirLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(f *os.File) {}
+
+// WriterAlive reports whether a live writer holds the directory lock;
+// without flock support it cannot tell, and reports false.
+func WriterAlive(dir string) bool { return false }

@@ -1,0 +1,59 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the writer-exclusion lock under the WAL directory. It is
+// not a segment (no .wal suffix), so the segment scan ignores it. The
+// kernel drops a flock when its holder exits — even on SIGKILL — so the
+// lock doubles as a writer-liveness probe for followers: no stale-lockfile
+// cleanup is ever needed.
+const lockFileName = "wal.lock"
+
+// acquireDirLock takes the exclusive, non-blocking writer lock on dir.
+// A second live writer gets ErrLocked instead of silently corrupting the
+// log.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the writer lock; closing the fd releases the flock.
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}
+
+// WriterAlive reports whether a live process currently holds the writer
+// lock on dir — the follower's liveness probe for auto-promotion. It never
+// blocks; a missing lock file means no writer has ever opened the
+// directory.
+func WriterAlive(dir string) bool {
+	f, err := os.Open(filepath.Join(dir, lockFileName))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB); err != nil {
+		return true // the writer's exclusive lock blocked us: it is alive
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return false
+}

@@ -52,6 +52,19 @@ var ErrFull = errors.New("wal: append queue full")
 // ErrClosed is returned by appends after Close.
 var ErrClosed = errors.New("wal: closed")
 
+// ErrTruncated marks a replay that requested (or raced into) a range the
+// log no longer retains: the cursor is below the oldest segment, or
+// TruncateBefore removed a segment mid-replay. It is a clean
+// restart-from-checkpoint signal — the caller should reload the newest
+// checkpoint and resume from its watermark — never a silent gap or a raw
+// fd error.
+var ErrTruncated = errors.New("wal: replayed range truncated")
+
+// ErrLocked is returned by Open when another live process holds the
+// writer lock on the directory — two writers on one WAL directory would
+// corrupt it, and a follower must promote via the lock, not around it.
+var ErrLocked = errors.New("wal: directory locked by another writer")
+
 // maxRecord bounds one encoded record, so a corrupted length prefix cannot
 // drive allocation; anything larger is treated as a torn/corrupt tail.
 const maxRecord = 1 << 24
@@ -176,6 +189,11 @@ type Log struct {
 	// per-segment, not per-append, so recording cost is negligible.
 	jr *obs.Journal
 
+	// lockf holds the exclusive writer flock on the directory for the
+	// lifetime of the log. The kernel releases it when the process dies —
+	// even on SIGKILL — so followers probe it as a writer-liveness signal.
+	lockf *os.File
+
 	// testHookBeforeCommit, when set, runs in the committer just before each
 	// batch write (test-only: lets tests hold a batch open to fill the queue).
 	testHookBeforeCommit func()
@@ -206,7 +224,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, next: -1, durable: -1, committerDone: make(chan struct{})}
+	lockf, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			releaseDirLock(lockf)
+		}
+	}()
+	l := &Log{dir: dir, opts: opts, next: -1, durable: -1, committerDone: make(chan struct{}), lockf: lockf}
 	l.notEmpty = sync.NewCond(&l.mu)
 	l.notFull = sync.NewCond(&l.mu)
 	reg := obs.Default()
@@ -257,6 +285,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	for _, s := range l.segs {
 		l.total += s.size
 	}
+	opened = true
 	go l.run()
 	return l, nil
 }
@@ -582,7 +611,7 @@ func (l *Log) Replay(from int64, fn func(Entry) error) error {
 		return nil
 	}
 	if from < segs[0].first {
-		return fmt.Errorf("wal: entries from seq %d requested, oldest retained is %d", from, segs[0].first)
+		return fmt.Errorf("%w: entries from seq %d requested, oldest retained is %d", ErrTruncated, from, segs[0].first)
 	}
 	expect := from
 	for i, s := range segs {
@@ -605,6 +634,11 @@ func (l *Log) Replay(from int64, fn func(Entry) error) error {
 func (l *Log) replaySegment(s segmeta, from, stop int64, expect *int64, fn func(Entry) error) error {
 	f, err := os.Open(s.path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			// TruncateBefore removed the segment between our metadata
+			// snapshot and this open: the range is gone, cleanly.
+			return fmt.Errorf("%w: segment %s removed mid-replay", ErrTruncated, filepath.Base(s.path))
+		}
 		return err
 	}
 	defer f.Close()
@@ -681,6 +715,8 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	releaseDirLock(l.lockf)
+	l.lockf = nil
 	return l.err
 }
 
