@@ -17,17 +17,20 @@ import (
 	"time"
 
 	"terids/internal/obs"
+	"terids/internal/testutil"
 )
 
 // TestMain re-execs the test binary as a real terids-serve process when
 // TERIDS_SERVE_CHILD is set: the crash-injection test below needs an actual
-// OS process it can SIGQUIT, not an httptest server.
+// OS process it can SIGQUIT, not an httptest server. In normal mode the run
+// is additionally gated on goroutine hygiene — the servers and engines the
+// tests start must be fully torn down.
 func TestMain(m *testing.M) {
 	if os.Getenv("TERIDS_SERVE_CHILD") == "1" {
 		main()
 		return
 	}
-	os.Exit(m.Run())
+	testutil.VerifyNoLeaks(m)
 }
 
 var listeningLine = regexp.MustCompile(`listening on (\S+) \(`)

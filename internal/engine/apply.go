@@ -54,6 +54,8 @@ func (e *Engine) AttachWAL(l *wal.Log) error {
 // (like Rebalance); OnResult, metrics, and the journal stay attached.
 // The checkpoint must be at or ahead of the engine's watermark — a live
 // engine never rewinds. Must not be called from OnResult.
+//
+//terids:deterministic
 func (e *Engine) ApplyCheckpoint(c *snapshot.Checkpoint) error {
 	if err := c.Validate(); err != nil {
 		return err

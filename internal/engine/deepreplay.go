@@ -104,6 +104,8 @@ func (d *Durable) replayBase(from int64) (*snapshot.Checkpoint, error) {
 // may re-run to reach that point (ErrReplayDepthExceeded when the gap is
 // wider). The replay runs against a live WAL: arrivals appended while it
 // runs are picked up until emit stops it or the durable frontier is reached.
+//
+//terids:deterministic
 func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit func(Result) bool) error {
 	if from < 0 {
 		from = 0
@@ -136,6 +138,7 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 	// metrics or traces would pollute the live distributions.
 	cfg.ObsOff = true
 	cfg.TraceSample = 0
+	//lint:ignore nodeterm replay duration metric; never touches emitted bytes
 	replayStart := time.Now()
 	var stop atomic.Bool
 	cfg.OnResult = func(res Result) {
@@ -227,6 +230,7 @@ func (d *Durable) DeepReplay(ctx context.Context, from, upTo, limit int64, emit 
 		return err
 	}
 	d.deepReplays.Add(1)
+	//lint:ignore nodeterm replay duration metric; never touches emitted bytes
 	took := time.Since(replayStart)
 	if m := d.met; m != nil {
 		m.deepReplay.ObserveDuration(took)

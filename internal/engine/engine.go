@@ -190,6 +190,10 @@ type header struct {
 type Engine struct {
 	step *core.Step
 	cfg  Config
+	// autoImpute records that the caller left ImputeWorkers unset (<= 0), so
+	// the pool was defaulted to Shards. Rebalance keeps the two in lockstep
+	// for auto-sized engines; an explicit ImputeWorkers stays fixed.
+	autoImpute bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -200,6 +204,7 @@ type Engine struct {
 	// TrySubmit/Close/Checkpoint behind a blocked send). The router's
 	// seq-keyed reorder window restores submission order, so injection can
 	// happen outside the lock.
+	//terids:nosend
 	subMu  sync.Mutex
 	closed bool
 	// inflight tracks submitters between sequence assignment and pipeline
@@ -319,6 +324,7 @@ func New(sh *core.Shared, cfg Config) (*Engine, error) {
 // newEngine builds the engine — channels, windows, shard grids — without
 // launching the pipeline, so NewFromSnapshot can load state first.
 func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
+	autoImpute := cfg.ImputeWorkers <= 0
 	cfg.fill()
 	step, err := core.NewStep(sh, cfg.Core)
 	if err != nil {
@@ -328,6 +334,7 @@ func newEngine(sh *core.Shared, cfg Config) (*Engine, error) {
 	e := &Engine{
 		step:       step,
 		cfg:        cfg,
+		autoImpute: autoImpute,
 		imputeIn:   make(chan []*item, cfg.QueueDepth),
 		imputedOut: make(chan []*item, cfg.QueueDepth),
 		hdrCh:      make(chan []header, cfg.QueueDepth),
@@ -500,6 +507,7 @@ func (e *Engine) chunkSize(n int) int {
 	return c
 }
 
+//terids:hotpath
 func (e *Engine) submitBatch(recs []*tuple.Record, wait bool) error {
 	if len(recs) == 0 {
 		return nil
@@ -565,6 +573,7 @@ func (e *Engine) submitBatch(recs []*tuple.Record, wait bool) error {
 	m := e.met
 	var now time.Time
 	if m != nil {
+		//lint:ignore nodeterm queue-wait instrumentation; never touches emitted bytes
 		now = time.Now()
 	}
 	items := e.itemsPool.get(n)
@@ -598,6 +607,7 @@ func (e *Engine) submitBatch(recs []*tuple.Record, wait bool) error {
 			return err
 		}
 		if m != nil {
+			//lint:ignore nodeterm WAL-wait instrumentation; never touches emitted bytes
 			done := time.Now()
 			walWait := done.Sub(now)
 			m.walWait.Observe(int64(walWait))
@@ -636,6 +646,8 @@ func (e *Engine) submitBatch(recs []*tuple.Record, wait bool) error {
 
 // inject sends one impute chunk into the pipeline; the chunk's ownership
 // passes to the impute worker that receives it.
+//
+//terids:hotpath
 func (e *Engine) inject(chunk []*item) error {
 	select {
 	case e.imputeIn <- chunk:
@@ -697,12 +709,15 @@ func (e *Engine) Close() error {
 // profile construction and home-shard selection, all over read-only state.
 // Chunks move through whole: the worker imputes every item in its chunk and
 // forwards the chunk to the router in one send.
+//
+//terids:hotpath
 func (e *Engine) imputeWorker() {
 	defer e.imputeWG.Done()
 	for chunk := range e.imputeIn {
 		m := e.met
 		var stageStart time.Time
 		if m != nil {
+			//lint:ignore nodeterm stage-latency instrumentation; never touches emitted bytes
 			stageStart = time.Now()
 		}
 		for _, it := range chunk {
@@ -725,6 +740,7 @@ func (e *Engine) imputeWorker() {
 		}
 		if m != nil {
 			// Whole-chunk impute cost, attributed evenly across the chunk.
+			//lint:ignore nodeterm stage-latency instrumentation; never touches emitted bytes
 			d := time.Since(stageStart)
 			per := int64(d) / int64(len(chunk))
 			for _, it := range chunk {
@@ -745,6 +761,8 @@ func (e *Engine) imputeWorker() {
 // router is the sequential heart of the pipeline: it restores submission
 // order after the parallel impute stage, advances the sliding windows,
 // and fans commands out to the shards and the merger in per-chunk batches.
+//
+//terids:hotpath
 func (e *Engine) router() {
 	defer func() {
 		for _, ch := range e.shardCh {
@@ -795,10 +813,13 @@ func (e *Engine) router() {
 // the headers: the router finishes writing each arrival's trace fields before
 // the fan-out, and the header send is the merger's happens-before edge for
 // reading them.
+//
+//terids:hotpath
 func (e *Engine) routeBatch(items []*item) bool {
 	m := e.met
 	var routeStart time.Time
 	if m != nil {
+		//lint:ignore nodeterm stage-latency instrumentation; never touches emitted bytes
 		routeStart = time.Now()
 	}
 	k := len(e.shardCh)
@@ -862,6 +883,7 @@ func (e *Engine) routeBatch(items []*item) bool {
 	if m != nil {
 		// Whole-run route cost, attributed evenly across the run; written
 		// before the fan-out so the header send publishes it.
+		//lint:ignore nodeterm stage-latency instrumentation; never touches emitted bytes
 		per := int64(time.Since(routeStart)) / int64(len(items))
 		for i := range hdrs {
 			m.routeTime.Observe(per)
@@ -891,6 +913,8 @@ func (e *Engine) routeBatch(items []*item) bool {
 }
 
 // pushWindow mirrors core.Processor's window handling.
+//
+//terids:hotpath
 func (e *Engine) pushWindow(r *tuple.Record) ([]*tuple.Record, error) {
 	if e.timeWins != nil {
 		if r.Stream < 0 || r.Stream >= len(e.timeWins) {

@@ -196,6 +196,8 @@ func (f *Follower) tailLoop() {
 // pass runs one tail iteration: stream every new durable arrival through
 // the pipeline, and fall back to a checkpoint catch-up when the WAL was
 // truncated below the cursor.
+//
+//terids:deterministic
 func (f *Follower) pass() error {
 	if f.cfg.beforePass != nil {
 		f.cfg.beforePass()

@@ -49,6 +49,8 @@ func (s poolStats) miss() {
 
 // itemPool recycles *item wrappers through a sync.Pool (pointer values,
 // so Put never boxes).
+//
+//terids:pool
 type itemPool struct {
 	p  sync.Pool
 	st poolStats
@@ -76,6 +78,8 @@ func (ip *itemPool) put(it *item) {
 // slicePool recycles carrier slices through a small mutex-guarded freelist.
 // sync.Pool would box the slice header on every Put; the freelist keeps
 // put/get allocation-free, and the lock is taken per batch, not per tuple.
+//
+//terids:pool
 type slicePool[T any] struct {
 	mu   sync.Mutex
 	free [][]T

@@ -294,7 +294,18 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 	if err != nil {
 		return err
 	}
+	//lint:ignore nodeterm pause-duration metric; never touches emitted bytes
 	start := time.Now()
+	// The operator-supplied Logf must not run inside the pause window
+	// (locksend: callback invocation under subMu — a slow sink would extend
+	// the pause, a sink calling back into the engine would deadlock).
+	// Registered before the unlock defer, it fires after subMu is released.
+	var logDone func()
+	defer func() {
+		if logDone != nil {
+			logDone()
+		}
+	}()
 	e.subMu.Lock()
 	defer e.subMu.Unlock()
 	if e.closed {
@@ -364,6 +375,7 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 		return err
 	}
 	e.start()
+	//lint:ignore nodeterm pause-duration metric; never touches emitted bytes
 	took := time.Since(start)
 	if m := e.met; m != nil {
 		m.rebalancePause.ObserveDuration(took)
@@ -384,8 +396,10 @@ func (e *Engine) rebalance(l Layout, trig rebTrigger) (err error) {
 			"seq": c.Seq, "residents": len(c.Residents),
 			"imbalance": imbBefore, "duration_ms": float64(took.Microseconds()) / 1000,
 		})
-	e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f, trigger %s) in %v",
-		oldK, l.K, c.Seq, len(c.Residents), imbBefore, trig, took.Round(time.Microsecond))
+	logDone = func() {
+		e.cfg.Rebalance.Logf("rebalance: K %d→%d at seq %d (%d residents, imbalance %.2f, trigger %s) in %v",
+			oldK, l.K, c.Seq, len(c.Residents), imbBefore, trig, took.Round(time.Microsecond))
+	}
 	return nil
 }
 
@@ -435,6 +449,12 @@ func (e *Engine) rebuild(l Layout, c *snapshot.Checkpoint) ([]*tuple.Record, err
 	}
 
 	e.cfg.Shards = l.K
+	if e.autoImpute {
+		// The impute pool was auto-sized to Shards at construction; keep it
+		// in lockstep so a grown K gets a grown imputation stage too. start()
+		// reads the new value when it relaunches the pipeline.
+		e.cfg.ImputeWorkers = l.K
+	}
 	e.layout = l.Slots
 	// Interned home tables are per-K; rebuild them before loadResidents
 	// re-homes the checkpointed residents.

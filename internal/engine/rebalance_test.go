@@ -459,3 +459,52 @@ func TestRebalanceClosedAndInvalid(t *testing.T) {
 		t.Fatalf("rebalance after close: %v, want ErrClosed", err)
 	}
 }
+
+// TestRebalanceResizesImputeWorkers pins the impute-pool sizing contract
+// across rebalances: an auto-sized pool (ImputeWorkers unset) follows K,
+// while an explicitly configured pool stays fixed. Both engines keep
+// processing correctly after the resize.
+func TestRebalanceResizesImputeWorkers(t *testing.T) {
+	f := loadFixture(t)
+
+	auto, err := New(f.sh, Config{Core: f.cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	if got := auto.Stats().ImputeWorkers; got != 2 {
+		t.Fatalf("auto-sized engine starts with %d impute workers, want 2", got)
+	}
+	for _, r := range f.stream[:len(f.stream)/2] {
+		if err := auto.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := auto.Rebalance(Layout{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st := auto.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("rebalance left Shards=%d, want 4", st.Shards)
+	}
+	if st.ImputeWorkers != 4 {
+		t.Fatalf("auto-sized impute pool is %d after rebalance to K=4, want 4", st.ImputeWorkers)
+	}
+	for _, r := range f.stream[len(f.stream)/2:] {
+		if err := auto.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fixed, err := New(f.sh, Config{Core: f.cfg, Shards: 2, ImputeWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if err := fixed.Rebalance(Layout{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fixed.Stats().ImputeWorkers; got != 3 {
+		t.Fatalf("explicit impute pool resized to %d by rebalance, want 3", got)
+	}
+}

@@ -80,6 +80,8 @@ func newShard(id int, e *Engine, g *grid.Grid) *shard {
 // run processes the shard's command stream until it closes or the engine
 // fails. All grid state is confined to this goroutine. Each command carries a
 // batch of arrivals; the shard answers with one multi-entry partial.
+//
+//terids:hotpath
 func (s *shard) run() {
 	defer s.e.shardWG.Done()
 	step := s.e.step

@@ -34,6 +34,8 @@ func (e *Engine) Checkpoint() (*snapshot.Checkpoint, error) {
 
 // checkpointLocked is the barrier body, shared by Checkpoint and Rebalance.
 // Caller holds subMu (so the watermark cannot advance).
+//
+//terids:deterministic
 func (e *Engine) checkpointLocked() (*snapshot.Checkpoint, error) {
 	target := e.seq.Load()
 
@@ -50,6 +52,7 @@ func (e *Engine) checkpointLocked() (*snapshot.Checkpoint, error) {
 	// residents appear in several shards with the same sequence).
 	seqOf := make(map[string]int64)
 	for _, s := range e.shards {
+		//lint:ignore nodeterm iteration order erased: residents are sorted by arrival seq below
 		for rid, sq := range s.seqOf {
 			seqOf[rid] = sq
 		}
@@ -101,6 +104,8 @@ func (e *Engine) checkpointLocked() (*snapshot.Checkpoint, error) {
 // rebalanced deployment recovers balanced; an explicit Shards equal to the
 // snapshot's K adopts the table too; any other K falls back to the default
 // modulo layout at the requested K — always safe, placement being free.
+//
+//terids:deterministic
 func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engine, error) {
 	if cfg.Shards == 0 && c.Shards >= 1 && c.Shards <= maxAdoptShards && len(c.SlotTable) == LayoutSlots {
 		cfg.Shards = c.Shards
@@ -140,6 +145,8 @@ func NewFromSnapshot(sh *core.Shared, cfg Config, c *snapshot.Checkpoint) (*Engi
 // live set, and the shard grids under the engine's current layout — the
 // restore body shared by NewFromSnapshot and Rebalance. The engine must be
 // freshly built (or rebuilt) and not yet started.
+//
+//terids:deterministic
 func (e *Engine) loadResidents(c *snapshot.Checkpoint) ([]*tuple.Record, error) {
 	recs, err := core.CheckpointRecords(e.step.Shared().Schema, c)
 	if err != nil {

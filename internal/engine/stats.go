@@ -30,9 +30,13 @@ type ShardStats struct {
 // so the percentages are diagnostics of this engine's work — not the
 // single-grid Figure 4 attribution (run the Processor for that).
 type Stats struct {
-	Shards    int   `json:"shards"`
-	Submitted int64 `json:"submitted"`
-	Completed int64 `json:"completed"`
+	Shards int `json:"shards"`
+	// ImputeWorkers is the current imputation pool size. It tracks Shards
+	// across rebalances when the configuration auto-sized it, and stays at
+	// the configured value otherwise.
+	ImputeWorkers int   `json:"impute_workers"`
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
 	// Rejected counts arrivals dropped as duplicate live RIDs (included in
 	// Completed).
 	Rejected  int64          `json:"rejected"`
@@ -58,14 +62,15 @@ func (e *Engine) Stats() Stats {
 	e.resultsMu.RUnlock()
 	e.stateMu.RLock()
 	st := Stats{
-		Shards:     e.cfg.Shards,
-		Submitted:  submitted,
-		Completed:  completed,
-		Rejected:   rejected,
-		Totals:     e.acc.Snapshot(),
-		Imbalance:  imbalanceOf(e.shards),
-		QueueLen:   len(e.imputeIn),
-		QueueDepth: e.cfg.QueueDepth,
+		Shards:        e.cfg.Shards,
+		ImputeWorkers: e.cfg.ImputeWorkers,
+		Submitted:     submitted,
+		Completed:     completed,
+		Rejected:      rejected,
+		Totals:        e.acc.Snapshot(),
+		Imbalance:     imbalanceOf(e.shards),
+		QueueLen:      len(e.imputeIn),
+		QueueDepth:    e.cfg.QueueDepth,
 	}
 	for _, s := range e.shards {
 		st.PerShard = append(st.PerShard, ShardStats{

@@ -83,6 +83,8 @@ func (e *Engine) internHomes() {
 // engine's interned tables and must never be mutated. Called from impute
 // workers and the restore path only — never concurrently with a layout swap,
 // because the pipeline is stopped at the rebalance barrier.
+//
+//terids:hotpath
 func (e *Engine) homeShards(prof *prune.Profile) (homes []int, slot int) {
 	kws := e.step.Shared().Keywords
 	var best, second float64

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc keeps //terids:hotpath functions allocation-free in steady
+// state. Inside an annotated function it flags fmt.Sprint/Sprintf/Sprintln
+// and map allocations (make(map...) or a map composite literal) anywhere —
+// both allocate on every call — and, inside loops, string concatenation,
+// closure creation, and explicit conversions of non-interface values to
+// interface types (boxing). Error paths may still use fmt.Errorf: an error
+// return is already the cold path, and the allocation happens only when
+// something has gone wrong.
+//
+// Only directly annotated functions are checked — the annotation is the
+// contract, and transitive inference would make adding a helper call a
+// spooky-action lint failure two files away. Closures declared inside a hot
+// function are scanned as part of its body (they run on the hot path when
+// invoked).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//terids:hotpath functions must not allocate: no Sprintf, maps, or in-loop concat/closures/boxing",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, "hotpath") {
+				continue
+			}
+			hotallocScan(pass, fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+func hotallocScan(pass *Pass, n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				hotallocScan(pass, n.Init, loopDepth)
+			}
+			if n.Cond != nil {
+				hotallocScan(pass, n.Cond, loopDepth)
+			}
+			if n.Post != nil {
+				hotallocScan(pass, n.Post, loopDepth+1)
+			}
+			hotallocScan(pass, n.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			hotallocScan(pass, n.X, loopDepth)
+			hotallocScan(pass, n.Body, loopDepth+1)
+			return false
+		case *ast.FuncLit:
+			if loopDepth > 0 {
+				pass.Reportf(n.Pos(), "closure allocated inside a loop on a //terids:hotpath function")
+			}
+			// The closure body runs on the hot path when invoked; its own
+			// loops start a fresh depth.
+			hotallocScan(pass, n.Body, 0)
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil {
+				switch {
+				case stdFunc(fn, "fmt", "Sprint"), stdFunc(fn, "fmt", "Sprintf"), stdFunc(fn, "fmt", "Sprintln"):
+					pass.Reportf(n.Pos(), "fmt.%s allocates on a //terids:hotpath function", fn.Name())
+				}
+			}
+			if isBuiltinCall(pass.Info, n) {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if tv, ok := pass.Info.Types[n.Args[0]]; ok && isMapType(tv.Type) {
+						pass.Reportf(n.Pos(), "map allocation on a //terids:hotpath function")
+					}
+				}
+			}
+			if loopDepth > 0 && isConversion(pass.Info, n) && len(n.Args) == 1 {
+				to := pass.Info.Types[n.Fun].Type
+				from := pass.Info.Types[n.Args[0]].Type
+				if to != nil && from != nil && types.IsInterface(to) && !types.IsInterface(from) {
+					pass.Reportf(n.Pos(), "interface boxing (%s) inside a loop on a //terids:hotpath function", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && isMapType(tv.Type) {
+				pass.Reportf(n.Pos(), "map literal allocation on a //terids:hotpath function")
+			}
+		case *ast.BinaryExpr:
+			if loopDepth > 0 && n.Op == token.ADD && isStringExpr(pass.Info, n.X) {
+				pass.Reportf(n.OpPos, "string concatenation inside a loop on a //terids:hotpath function")
+			}
+		case *ast.AssignStmt:
+			if loopDepth > 0 && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass.Info, n.Lhs[0]) {
+				pass.Reportf(n.TokPos, "string concatenation inside a loop on a //terids:hotpath function")
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,285 @@
+// Package lint is the project's static-analysis suite: five analyzers that
+// mechanically enforce the invariants the engine's correctness rests on —
+// no blocking work under the submission or WAL-append locks (locksend), the
+// single-recycling-owner pool discipline (poolown), the zero-alloc hot path
+// (hotalloc), no silently dropped errors in the durability formats (walerr),
+// and no nondeterminism in the paths that must replay byte-identically
+// (nodeterm).
+//
+// The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic — but is built on the standard library alone (go/parser,
+// go/types, and export data resolved through `go list -export`), so the
+// suite builds and runs offline with zero module dependencies. If x/tools
+// ever lands in the build environment, each analyzer's Run is shaped to port
+// mechanically.
+//
+// Analyzers are wired to the source by comment directives rather than
+// hard-coded symbol paths, which keeps them testable against small fixture
+// packages and keeps the annotated source self-documenting:
+//
+//	//terids:nosend        on a mutex field: no channel sends, blocking
+//	                       syscalls, or callback invocations while held
+//	//terids:pool          on a pool type: get/put obey single-owner recycling
+//	//terids:hotpath       on a function: no fmt.Sprint*, no map allocation,
+//	                       and inside loops no string concatenation, closure
+//	                       creation, or interface boxing
+//	//terids:strict-errors in a package doc: no discarded error results
+//	//terids:deterministic on a function: no time.Now / math/rand /
+//	                       map-iteration-order dependence, transitively
+//	                       through same-package callees
+//	//terids:blocks        on a function: treat as blocking under locksend
+//
+// A false positive is suppressed with a reason, on or immediately above the
+// offending line:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is the one-line description `terids-lint -list` prints.
+	Doc string
+	// Run reports the analyzer's findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzers is the suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Locksend, Poolown, Hotalloc, Walerr, Nodeterm}
+}
+
+// RunOnPackage runs one analyzer over one package and returns its findings
+// with //lint:ignore suppressions already applied, sorted by position.
+func RunOnPackage(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ig := buildIgnoreIndex(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// --- comment directives ---
+
+const directivePrefix = "//terids:"
+
+// hasDirective reports whether the comment group carries the named
+// //terids: directive.
+func hasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	want := directivePrefix + name
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether the function's doc comment carries the
+// directive.
+func funcHasDirective(fd *ast.FuncDecl, name string) bool {
+	return hasDirective(fd.Doc, name)
+}
+
+// packageHasDirective reports whether any file's package doc block carries
+// the directive (the whole package opts in).
+func packageHasDirective(files []*ast.File, name string) bool {
+	for _, f := range files {
+		if hasDirective(f.Doc, name) {
+			return true
+		}
+		// Directives may sit in a comment block above the doc comment
+		// (separated by a blank line from the package clause).
+		for _, cg := range f.Comments {
+			if cg.End() < f.Package && hasDirective(cg, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- //lint:ignore suppression ---
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+)$`)
+
+// ignoreIndex maps file → line → analyzer names waived on that line.
+type ignoreIndex map[string]map[int][]string
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ig := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := strings.Split(m[1], ",")
+				lines := ig[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ig[pos.Filename] = lines
+				}
+				// The directive waives its own line (trailing comment) and
+				// the next line (comment above the statement).
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, name := range ig[pos.Filename][pos.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared type helpers ---
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// through a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedOrigin unwraps pointers and generic instantiations down to the
+// defining type object, or nil for unnamed types.
+func namedOrigin(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin().Obj()
+}
+
+// calleeFunc resolves a call to its statically known *types.Func (a declared
+// function or method), or nil for dynamic calls through func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isBuiltinCall reports whether the call invokes a builtin (len, close, ...).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// stdFunc reports whether fn is the named package-level function of the
+// given standard-library package path.
+func stdFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// methodOn reports whether fn is a method named name whose receiver's
+// defining type is pkgPath.typeName.
+func methodOn(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	tn := namedOrigin(sig.Recv().Type())
+	return tn != nil && tn.Pkg() != nil && tn.Pkg().Path() == pkgPath && tn.Name() == typeName
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"terids/internal/lint"
+	"terids/internal/lint/linttest"
+)
+
+// Each fixture package pairs positive cases (every diagnostic the analyzer
+// exists to produce) with negative ones (the approved idioms it must stay
+// quiet about), plus one //lint:ignore waiver proving suppression works.
+
+func TestLocksend(t *testing.T) { linttest.Run(t, lint.Locksend, "locksend") }
+
+func TestPoolown(t *testing.T) { linttest.Run(t, lint.Poolown, "poolown") }
+
+func TestHotalloc(t *testing.T) { linttest.Run(t, lint.Hotalloc, "hotalloc") }
+
+func TestWalerr(t *testing.T) { linttest.Run(t, lint.Walerr, "walerr") }
+
+func TestNodeterm(t *testing.T) { linttest.Run(t, lint.Nodeterm, "nodeterm") }

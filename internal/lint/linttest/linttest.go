@@ -1,0 +1,129 @@
+// Package linttest runs an analyzer over a fixture package and checks its
+// findings against `// want "regex"` expectations, analysistest-style: every
+// diagnostic must match a want on its line, and every want must be matched
+// by a diagnostic. Fixtures live under internal/lint/testdata/src/<name> —
+// a testdata directory keeps them out of ./... builds while still letting
+// the loader resolve them as explicit package paths.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"terids/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads internal/lint/testdata/src/<name>, applies the analyzer, and
+// fails the test on any mismatch between findings and want comments.
+func Run(t *testing.T, a *lint.Analyzer, name string) {
+	t.Helper()
+	root := moduleRoot(t)
+	pkgs, err := lint.Load(root, "./internal/lint/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", name, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := lint.RunOnPackage(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	key := func(pos token.Position) string {
+		return filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					raw, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key(pos), arg, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key(pos), raw, err)
+					}
+					k := key(pos)
+					wants[k] = append(wants[k], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key(pos)
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected %s diagnostic: %s", k, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no %s diagnostic matching %q", k, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

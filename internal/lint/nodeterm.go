@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nodeterm guards the byte-identical replay contract: deep replay and
+// follower catch-up must regenerate the exact result stream the live
+// pipeline emitted, so the merge and replay paths may not consult wall
+// clocks, random sources, or map iteration order. Functions annotated
+// //terids:deterministic — and every same-package function they statically
+// call, transitively — must not call time.Now/Since/Until, reference
+// math/rand (or math/rand/v2), or range over a map.
+//
+// Instrumentation that provably cannot affect emitted bytes (latency
+// observations, trace timestamps) and map ranges whose results are sorted
+// before use are waived at the site with //lint:ignore nodeterm <reason> —
+// the waiver is the review record for why the nondeterminism is harmless.
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "no time.Now, math/rand, or map-iteration-order dependence in //terids:deterministic paths",
+	Run:  runNodeterm,
+}
+
+func runNodeterm(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if funcHasDirective(fd, "deterministic") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	// The deterministic context is the transitive same-package static call
+	// closure of the annotated roots.
+	inContext := map[*types.Func]string{} // fn -> root that reached it
+	var reach func(fn *types.Func, root string)
+	reach = func(fn *types.Func, root string) {
+		if _, ok := inContext[fn]; ok {
+			return
+		}
+		fd, ok := decls[fn]
+		if !ok || fd.Body == nil {
+			return
+		}
+		inContext[fn] = root
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.Info, call); callee != nil {
+					if _, same := decls[callee.Origin()]; same {
+						reach(callee.Origin(), root)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, fn := range roots {
+		reach(fn, fn.Name())
+	}
+
+	for fn, root := range inContext {
+		fd := decls[fn]
+		via := ""
+		if fn.Name() != root {
+			via = " (reached from //terids:deterministic " + root + ")"
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if callee := calleeFunc(pass.Info, n); callee != nil {
+					switch {
+					case stdFunc(callee, "time", "Now"), stdFunc(callee, "time", "Since"), stdFunc(callee, "time", "Until"):
+						pass.Reportf(n.Pos(), "time.%s in deterministic replay path %s%s", callee.Name(), fn.Name(), via)
+					}
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[n]; obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(n.Pos(), "%s.%s in deterministic replay path %s%s", obj.Pkg().Name(), obj.Name(), fn.Name(), via)
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok && isMapType(tv.Type) {
+					pass.Reportf(n.For, "map iteration order leaks into deterministic replay path %s%s", fn.Name(), via)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolown enforces the single-recycling-owner discipline for pooled
+// buffers: once a value is handed back with put/Put on a //terids:pool
+// type (or a sync.Pool), the putter no longer owns it. Any later use of
+// that variable — reading a field, sending it on a channel, storing it
+// anywhere, or putting it a second time — is a finding, because the pool
+// may have already recycled the buffer into another goroutine's hands.
+//
+// Tracking is per function and flow-insensitive across branches in the
+// conservative direction: a branch's retirements survive the join (if any
+// path put the buffer, later use is suspect), while reassigning the
+// variable to a fresh value clears its taint. Closures and goroutine
+// bodies are analyzed as their own scopes.
+var Poolown = &Analyzer{
+	Name: "poolown",
+	Doc:  "no use-after-put, double-put, or ownership escape of pooled buffers",
+	Run:  runPoolown,
+}
+
+type poolownPass struct {
+	pass *Pass
+	// poolTypes holds the //terids:pool-annotated type objects; generic
+	// pools match through their origin.
+	poolTypes map[*types.TypeName]bool
+}
+
+func runPoolown(pass *Pass) error {
+	po := &poolownPass{pass: pass, poolTypes: map[*types.TypeName]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if hasDirective(gd.Doc, "pool") || hasDirective(ts.Doc, "pool") || hasDirective(ts.Comment, "pool") {
+					if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+						po.poolTypes[tn] = true
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					po.analyze(n.Body.List, retiredSet{})
+				}
+				return false
+			case *ast.FuncLit:
+				po.analyze(n.Body.List, retiredSet{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// retiredSet maps a variable to the position of the put that retired it.
+type retiredSet map[*types.Var]token.Pos
+
+func (r retiredSet) clone() retiredSet {
+	out := make(retiredSet, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// analyze walks a statement list, mutating retired in place; branch bodies
+// run against a clone whose final retirements are merged back (union).
+func (po *poolownPass) analyze(stmts []ast.Stmt, retired retiredSet) {
+	for _, s := range stmts {
+		po.stmt(s, retired)
+	}
+}
+
+func (po *poolownPass) branch(stmts []ast.Stmt, retired retiredSet) {
+	inner := retired.clone()
+	po.analyze(stmts, inner)
+	// A branch that cannot fall through — the error-path `put(b); return err`
+	// idiom — never reaches the join, so its retirements stay local.
+	if terminates(stmts) {
+		return
+	}
+	for v, pos := range inner {
+		if _, ok := retired[v]; !ok {
+			retired[v] = pos
+		}
+	}
+}
+
+// terminates reports whether control cannot fall off the end of the
+// statement list: it ends in return, break/continue/goto, or panic.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.LabeledStmt:
+		return terminates([]ast.Stmt{s.Stmt})
+	}
+	return false
+}
+
+func (po *poolownPass) stmt(s ast.Stmt, retired retiredSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		po.expr(s.X, retired)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			po.expr(e, retired)
+		}
+		for _, e := range s.Lhs {
+			// Reassignment hands the variable a fresh value: the old
+			// taint no longer applies to it.
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if v := po.varOf(id); v != nil {
+					delete(retired, v)
+					continue
+				}
+			}
+			po.expr(e, retired)
+		}
+	case *ast.SendStmt:
+		po.exprContext(s.Value, retired, "sent on a channel")
+		po.expr(s.Chan, retired)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			po.exprContext(e, retired, "returned")
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			po.stmt(s.Init, retired)
+		}
+		po.expr(s.Cond, retired)
+		po.branch(s.Body.List, retired)
+		if s.Else != nil {
+			po.branch([]ast.Stmt{s.Else}, retired)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			po.stmt(s.Init, retired)
+		}
+		if s.Cond != nil {
+			po.expr(s.Cond, retired)
+		}
+		po.branch(s.Body.List, retired)
+	case *ast.RangeStmt:
+		po.expr(s.X, retired)
+		po.branch(s.Body.List, retired)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			po.stmt(s.Init, retired)
+		}
+		if s.Tag != nil {
+			po.expr(s.Tag, retired)
+		}
+		for _, c := range s.Body.List {
+			po.branch(c.(*ast.CaseClause).Body, retired)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			po.branch(c.(*ast.CaseClause).Body, retired)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				po.branch([]ast.Stmt{cc.Comm}, retired)
+			}
+			po.branch(cc.Body, retired)
+		}
+	case *ast.BlockStmt:
+		po.analyze(s.List, retired)
+	case *ast.LabeledStmt:
+		po.stmt(s.Stmt, retired)
+	case *ast.DeferStmt:
+		po.expr(s.Call, retired)
+	case *ast.GoStmt:
+		po.expr(s.Call, retired)
+	case *ast.IncDecStmt:
+		po.expr(s.X, retired)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						po.expr(v, retired)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression: put calls retire their argument, any other
+// appearance of a retired variable is a finding.
+func (po *poolownPass) expr(e ast.Expr, retired retiredSet) {
+	po.exprContext(e, retired, "used")
+}
+
+func (po *poolownPass) exprContext(e ast.Expr, retired retiredSet, how string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies were analyzed as their own scope at the top
+			// level; variables retired here may be revived before the
+			// closure runs, so the taint does not flow in.
+			return false
+		case *ast.CallExpr:
+			if arg, ok := po.putCall(n); ok {
+				// The put's receiver and non-tracked arguments still count
+				// as uses; the retired argument itself is the hand-off.
+				po.exprContext(n.Fun, retired, how)
+				for _, a := range n.Args {
+					if a == arg {
+						continue
+					}
+					po.exprContext(a, retired, how)
+				}
+				if arg != nil {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if v := po.varOf(id); v != nil {
+							if prev, dup := retired[v]; dup {
+								po.pass.Reportf(n.Pos(), "double put of pooled %s (already put at %s)",
+									v.Name(), po.pass.Fset.Position(prev))
+							} else {
+								retired[v] = n.Pos()
+							}
+							return false
+						}
+					}
+					// A non-identifier argument (field, index) can't be
+					// tracked; scan it as a plain use.
+					po.exprContext(arg, retired, how)
+				}
+				return false
+			}
+		case *ast.Ident:
+			if v := po.varOf(n); v != nil {
+				if putPos, ok := retired[v]; ok {
+					po.pass.Reportf(n.Pos(), "pooled %s %s after put (put at %s): the pool may have recycled it",
+						v.Name(), how, po.pass.Fset.Position(putPos))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// putCall recognizes pool.put(v) / pool.Put(v) on a //terids:pool type or
+// sync.Pool and returns the recycled argument.
+func (po *poolownPass) putCall(call *ast.CallExpr) (arg ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	if sel.Sel.Name != "put" && sel.Sel.Name != "Put" {
+		return nil, false
+	}
+	fn, _ := po.pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil, false
+	}
+	tn := namedOrigin(sig.Recv().Type())
+	if tn == nil {
+		return nil, false
+	}
+	if !po.poolTypes[tn] && !(tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "Pool") {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, true
+	}
+	return call.Args[0], true
+}
+
+func (po *poolownPass) varOf(id *ast.Ident) *types.Var {
+	obj := po.pass.Info.Uses[id]
+	if obj == nil {
+		obj = po.pass.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	if v == nil || v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,119 @@
+// Package hotalloc is the fixture for the hotalloc analyzer.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+var errBad = errors.New("bad")
+
+// sprintfHot formats on the hot path.
+//
+//terids:hotpath
+func sprintfHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+}
+
+// mapAlloc builds a throwaway map per call.
+//
+//terids:hotpath
+func mapAlloc(keys []string) int {
+	seen := make(map[string]bool, len(keys)) // want "map allocation"
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// mapLiteral is the composite-literal spelling of the same mistake.
+//
+//terids:hotpath
+func mapLiteral(k string) int {
+	m := map[string]int{k: 1} // want "map literal allocation"
+	return m[k]
+}
+
+// concatLoop grows a string quadratically.
+//
+//terids:hotpath
+func concatLoop(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want "string concatenation inside a loop"
+	}
+	return out
+}
+
+// closureLoop allocates a closure per element.
+//
+//terids:hotpath
+func closureLoop(ns []int, apply func(func() int)) {
+	for _, n := range ns {
+		apply(func() int { return n }) // want "closure allocated inside a loop"
+	}
+}
+
+// boxLoop boxes an int into an interface per element.
+//
+//terids:hotpath
+func boxLoop(ns []int) []any {
+	var out []any
+	for _, n := range ns {
+		out = append(out, any(n)) // want "interface boxing"
+	}
+	return out
+}
+
+// errorPath may use fmt.Errorf: an error return is already the cold path.
+//
+//terids:hotpath
+func errorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d: %w", n, errBad)
+	}
+	return nil
+}
+
+// concatOnce outside a loop is a single allocation, not a per-element one.
+//
+//terids:hotpath
+func concatOnce(a, b string) string {
+	return a + b
+}
+
+// closureOnce outside a loop is a single allocation the compiler can often
+// keep on the stack.
+//
+//terids:hotpath
+func closureOnce(n int) func() int {
+	return func() int { return n }
+}
+
+// appendLoop is the approved zero-alloc shape.
+//
+//terids:hotpath
+func appendLoop(dst []byte, ns []int) []byte {
+	for _, n := range ns {
+		dst = strconv.AppendInt(dst, int64(n), 10)
+	}
+	return dst
+}
+
+// coldSprintf is not annotated; it may allocate freely.
+func coldSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// ignoredAlloc demonstrates the waiver convention.
+//
+//terids:hotpath
+func ignoredAlloc(keys []string) map[string]bool {
+	//lint:ignore hotalloc one-time warmup table built before steady state
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return seen
+}

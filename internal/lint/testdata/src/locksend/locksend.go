@@ -1,0 +1,148 @@
+// Package locksend is the fixture for the locksend analyzer.
+package locksend
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	// subMu serializes sequence assignment.
+	//terids:nosend
+	subMu sync.Mutex
+
+	// plain is not annotated: sends under it are somebody else's problem.
+	plain sync.Mutex
+
+	ch     chan int
+	onDone func()
+	wg     sync.WaitGroup
+}
+
+// sendUnderLock is the PR 7 bug class verbatim.
+func (e *engine) sendUnderLock() {
+	e.subMu.Lock()
+	e.ch <- 1 // want "channel send while holding subMu"
+	e.subMu.Unlock()
+}
+
+// sendAfterUnlock is the fixed shape: the send happens outside the region.
+func (e *engine) sendAfterUnlock() {
+	e.subMu.Lock()
+	e.subMu.Unlock()
+	e.ch <- 1
+}
+
+// earlyUnlockBranch models unlock-and-return: the fall-through path still
+// holds the lock, the branch does not.
+func (e *engine) earlyUnlockBranch(fail bool) {
+	e.subMu.Lock()
+	if fail {
+		e.subMu.Unlock()
+		return
+	}
+	e.ch <- 1 // want "channel send while holding subMu"
+	e.subMu.Unlock()
+}
+
+// deferredUnlock holds to the end of the function.
+func (e *engine) deferredUnlock() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.ch <- 1 // want "channel send while holding subMu"
+}
+
+// blockingSyscall performs filesystem work under the lock.
+func (e *engine) blockingSyscall(path string) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	os.Remove(path) // want "blocking syscall os.Remove while holding subMu"
+}
+
+// callback invokes a func value whose body the holder cannot see.
+func (e *engine) callback() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.onDone() // want "callback invocation .* while holding subMu"
+}
+
+// sleeper blocks a helper deep; transitive summaries catch it.
+func (e *engine) sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (e *engine) viaHelper() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.sleeper() // want "call to sleeper"
+}
+
+// annotatedBlocker is declared blocking even though its body looks inert.
+//
+//terids:blocks
+func (e *engine) annotatedBlocker() {}
+
+func (e *engine) viaAnnotated() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.annotatedBlocker() // want "annotated //terids:blocks"
+}
+
+// selectNoDefault still blocks: every clause parks the goroutine.
+func (e *engine) selectNoDefault() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	select {
+	case e.ch <- 1: // want "channel send \\(select\\) while holding subMu"
+	case <-e.ch: // want "channel receive \\(select\\) while holding subMu"
+	}
+}
+
+// selectWithDefault never blocks — the non-blocking attempt idiom is fine.
+func (e *engine) selectWithDefault() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	select {
+	case e.ch <- 1:
+	default:
+	}
+}
+
+// plainMutex is not annotated: no findings under it.
+func (e *engine) plainMutex() {
+	e.plain.Lock()
+	defer e.plain.Unlock()
+	e.ch <- 1
+}
+
+// waitGroupWait is deliberately permitted: the engine parks on quiescence
+// under subMu by design.
+func (e *engine) waitGroupWait() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.wg.Wait()
+}
+
+// closureDefinition only defines the closure; nothing runs under the lock.
+func (e *engine) closureDefinition() func() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	return func() { e.ch <- 1 }
+}
+
+// goroutineBody escapes the region: the spawned goroutine does not hold
+// the lock.
+func (e *engine) goroutineBody() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	go func() { e.ch <- 1 }()
+}
+
+// ignored demonstrates the waiver convention.
+func (e *engine) ignored() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	//lint:ignore locksend the channel is buffered and drained by this goroutine
+	e.ch <- 1
+}

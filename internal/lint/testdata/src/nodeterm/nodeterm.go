@@ -1,0 +1,78 @@
+// Package nodeterm is the fixture for the nodeterm analyzer.
+package nodeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type result struct {
+	seq  int64
+	prob float64
+}
+
+// replayMerge is a deterministic root: it must emit byte-identical results
+// on every run.
+//
+//terids:deterministic
+func replayMerge(rs []result) []result {
+	now := time.Now() // want "time.Now in deterministic replay path replayMerge"
+	_ = now
+	out := make([]result, 0, len(rs))
+	out = append(out, rs...)
+	jitter(out)
+	return out
+}
+
+// jitter is unannotated but reached from replayMerge: the closure is
+// transitive.
+func jitter(rs []result) {
+	for i := range rs {
+		rs[i].prob += rand.Float64() // want "rand.Float64 in deterministic replay path jitter \\(reached from //terids:deterministic replayMerge\\)"
+	}
+}
+
+// mapOrder leaks iteration order straight into the output.
+//
+//terids:deterministic
+func mapOrder(m map[int64]float64) []result {
+	var out []result
+	for seq, p := range m { // want "map iteration order leaks into deterministic replay path mapOrder"
+		out = append(out, result{seq: seq, prob: p})
+	}
+	return out
+}
+
+// sortedMapOrder ranges a map but sorts before anything observable — the
+// waiver records why that is safe.
+//
+//terids:deterministic
+func sortedMapOrder(m map[int64]float64) []result {
+	out := make([]result, 0, len(m))
+	//lint:ignore nodeterm iteration order erased by the sort below
+	for seq, p := range m {
+		out = append(out, result{seq: seq, prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// wallClockFree is the approved shape: logical sequence only.
+//
+//terids:deterministic
+func wallClockFree(rs []result) int64 {
+	var max int64
+	for _, r := range rs {
+		if r.seq > max {
+			max = r.seq
+		}
+	}
+	return max
+}
+
+// coldTimer is not annotated and not reachable from a root: wall clocks
+// are fine here.
+func coldTimer() time.Time {
+	return time.Now()
+}

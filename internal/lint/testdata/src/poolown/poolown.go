@@ -1,0 +1,133 @@
+// Package poolown is the fixture for the poolown analyzer.
+package poolown
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+// itemPool recycles bufs with a single-owner hand-off discipline.
+//
+//terids:pool
+type itemPool struct {
+	free []*buf
+}
+
+func (p *itemPool) get() *buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &buf{}
+}
+
+func (p *itemPool) put(b *buf) {
+	p.free = append(p.free, b)
+}
+
+// plainPool has the same shape but no annotation: its puts are untracked.
+type plainPool struct {
+	free []*buf
+}
+
+func (p *plainPool) put(b *buf) { p.free = append(p.free, b) }
+
+var sink *buf
+var ch = make(chan *buf)
+
+// useAfterPut reads a buffer the pool may already have recycled.
+func useAfterPut(p *itemPool) int {
+	b := p.get()
+	p.put(b)
+	return len(b.b) // want "pooled b returned after put"
+}
+
+// doublePut returns the same buffer twice.
+func doublePut(p *itemPool) {
+	b := p.get()
+	p.put(b)
+	p.put(b) // want "double put of pooled b"
+}
+
+// sendAfterPut leaks the retired buffer to another goroutine.
+func sendAfterPut(p *itemPool) {
+	b := p.get()
+	p.put(b)
+	ch <- b // want "pooled b sent on a channel after put"
+}
+
+// storeAfterPut escapes the single recycling owner through a global.
+func storeAfterPut(p *itemPool) {
+	b := p.get()
+	p.put(b)
+	sink = b // want "pooled b used after put"
+}
+
+// returnAfterPut hands the caller a buffer it no longer owns.
+func returnAfterPut(p *itemPool) *buf {
+	b := p.get()
+	p.put(b)
+	return b // want "pooled b returned after put"
+}
+
+// branchPut retires on one path only; the join is still tainted.
+func branchPut(p *itemPool, done bool) int {
+	b := p.get()
+	if done {
+		p.put(b)
+	}
+	return len(b.b) // want "pooled b returned after put"
+}
+
+// putOnErrorPath retires the buffer only on the terminating error path —
+// the engine's `put(b); return err` idiom — so the join stays clean.
+func putOnErrorPath(p *itemPool, fail bool) *buf {
+	b := p.get()
+	if fail {
+		p.put(b)
+		return nil
+	}
+	return b
+}
+
+// putThenReacquire is the legitimate shape: reassignment revives the name.
+func putThenReacquire(p *itemPool) int {
+	b := p.get()
+	p.put(b)
+	b = p.get()
+	n := len(b.b)
+	p.put(b)
+	return n
+}
+
+// useBeforePut is the normal lifecycle.
+func useBeforePut(p *itemPool) int {
+	b := p.get()
+	n := len(b.b)
+	p.put(b)
+	return n
+}
+
+// unannotatedPool puts are not tracked at all.
+func unannotatedPool(p *plainPool) int {
+	b := &buf{}
+	p.put(b)
+	return len(b.b)
+}
+
+// syncPoolDouble shows sync.Pool is covered without annotation.
+func syncPoolDouble(p *sync.Pool) {
+	b := p.Get()
+	p.Put(b)
+	p.Put(b) // want "double put of pooled b"
+}
+
+// ignoredUse demonstrates the waiver convention.
+func ignoredUse(p *itemPool) int {
+	b := p.get()
+	p.put(b)
+	//lint:ignore poolown the pool is single-threaded in this test helper
+	return len(b.b)
+}

@@ -1,0 +1,67 @@
+// Package walerr is the fixture for the walerr analyzer.
+//
+//terids:strict-errors
+package walerr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// dropClose silently discards the error that reports a failed flush.
+func dropClose(f *os.File) {
+	f.Close() // want "error result of os.File.Close discarded"
+}
+
+// dropDeferClose is the same bug spelled with defer.
+func dropDeferClose(f *os.File) {
+	defer f.Close() // want "error result of os.File.Close discarded by defer"
+	_ = f
+}
+
+// dropGoRemove launches the discard onto another goroutine.
+func dropGoRemove(path string) {
+	go os.Remove(path) // want "error result of os.Remove discarded by go statement"
+}
+
+// dropSync discards the one error fsync exists to report.
+func dropSync(f *os.File) {
+	f.Sync() // want "error result of os.File.Sync discarded"
+}
+
+// waived is the explicit, greppable discard: the close error is already
+// superseded by the error being returned.
+func waived(f *os.File) {
+	_ = f.Close()
+}
+
+// handled is the normal shape.
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bufferWrites are exempt: bytes.Buffer and strings.Builder document their
+// errors as always nil.
+func bufferWrites(buf *bytes.Buffer, sb *strings.Builder) {
+	buf.WriteString("header")
+	buf.WriteByte(0x1)
+	sb.WriteString("trailer")
+	fmt.Fprintf(buf, "seq=%d", 7)
+}
+
+// noError calls need no handling.
+func noError(buf *bytes.Buffer) int {
+	buf.Reset()
+	return buf.Len()
+}
+
+// ignored demonstrates the waiver convention for read-only paths.
+func ignored(f *os.File) {
+	//lint:ignore walerr read-only descriptor, close cannot lose data
+	f.Close()
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walerr forbids silently discarded error results in packages whose doc
+// block carries //terids:strict-errors — the WAL and snapshot codecs, where
+// a dropped CRC or I/O error is indistinguishable from corruption. A call
+// whose result tuple contains an error must not appear as a bare statement,
+// a defer, or a go statement.
+//
+// An explicit waiver is still possible — and greppable — by assigning the
+// result away (`_ = f.Close()`), which is the convention for close-on-error
+// paths where the original error is already being returned. Methods on
+// bytes.Buffer and strings.Builder are exempt (their Write errors are
+// documented to always be nil), as are the fmt.Fprint* helpers when their
+// writer is one of those types.
+var Walerr = &Analyzer{
+	Name: "walerr",
+	Doc:  "no discarded error results in //terids:strict-errors packages",
+	Run:  runWalerr,
+}
+
+func runWalerr(pass *Pass) error {
+	if !packageHasDirective(pass.Files, "strict-errors") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "discarded by go statement"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if fn := walerrCallee(pass, call); fn != "" {
+				pass.Reportf(call.Pos(), "error result of %s %s; handle it or waive explicitly with `_ =`", fn, how)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walerrCallee returns a display name when the call returns an error that
+// the caller is dropping, or "" when the call is clean or exempt.
+func walerrCallee(pass *Pass, call *ast.CallExpr) string {
+	info := pass.Info
+	if isConversion(info, call) || isBuiltinCall(info, call) {
+		return ""
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil || !tupleHasError(tv.Type) {
+		return ""
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		// bytes.Buffer and strings.Builder document their errors as
+		// always nil; checking them is noise.
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if tn := namedOrigin(sig.Recv().Type()); tn != nil && tn.Pkg() != nil {
+				p := tn.Pkg().Path()
+				if (p == "bytes" && tn.Name() == "Buffer") || (p == "strings" && tn.Name() == "Builder") {
+					return ""
+				}
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				if wtv, ok := info.Types[call.Args[0]]; ok {
+					if tn := namedOrigin(wtv.Type); tn != nil && tn.Pkg() != nil {
+						p := tn.Pkg().Path()
+						if (p == "bytes" && tn.Name() == "Buffer") || (p == "strings" && tn.Name() == "Builder") {
+							return ""
+						}
+					}
+				}
+			}
+		}
+		name := fn.Name()
+		if sig != nil && sig.Recv() != nil {
+			if tn := namedOrigin(sig.Recv().Type()); tn != nil {
+				name = tn.Name() + "." + name
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			name = fn.Pkg().Name() + "." + name
+		}
+		return name
+	}
+	return "call"
+}
+
+// tupleHasError reports whether a call's result type includes error.
+func tupleHasError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}

@@ -136,9 +136,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//terids:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0 for the exposition to stay monotonic).
+//
+//terids:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value reads the current count.
@@ -165,9 +169,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//terids:hotpath
 func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
 
 // Add adds d (CAS loop).
+//
+//terids:hotpath
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.v.Load()
@@ -251,6 +259,8 @@ func bucketBound(i int) float64 {
 }
 
 // Observe records one raw-unit value. Negative values clamp to zero.
+//
+//terids:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -261,11 +271,15 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // ObserveSince records the elapsed nanoseconds since start.
+//
+//terids:hotpath
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }
 
 // ObserveDuration records a duration in nanoseconds.
+//
+//terids:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // Count returns the number of observations.

@@ -127,6 +127,8 @@ func pairKey(a, b string) string { return a + "\x00" + b }
 
 // ComputeDelta expresses cur as a diff over base. ApplyDelta(base, delta)
 // reproduces cur exactly — residents, pair set, probabilities, and ordering.
+//
+//terids:deterministic
 func ComputeDelta(base, cur *Checkpoint) (*Delta, error) {
 	if !sameConfig(base, cur) {
 		return nil, fmt.Errorf("snapshot: delta across different problem configurations (base seq %d, cur seq %d)",
@@ -193,6 +195,8 @@ func ComputeDelta(base, cur *Checkpoint) (*Delta, error) {
 // result is exactly the checkpoint ComputeDelta diffed against the base —
 // Validate-clean, with residents in ascending arrival order and pairs in the
 // canonical sorted-key order.
+//
+//terids:deterministic
 func ApplyDelta(base *Checkpoint, d *Delta) (*Checkpoint, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -244,6 +248,7 @@ func ApplyDelta(base *Checkpoint, d *Delta) (*Checkpoint, error) {
 		idx[out.Residents[i].RID] = i
 	}
 	out.Pairs = make([]PairRef, 0, len(pairs))
+	//lint:ignore nodeterm iteration order erased: pairs are sorted before encoding below
 	for _, p := range pairs {
 		a, okA := idx[p.A]
 		b, okB := idx[p.B]
@@ -420,6 +425,7 @@ func ReadDeltaFile(path string) (*Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore walerr read-only load; close cannot lose data
 	defer f.Close()
 	return DecodeDelta(f)
 }

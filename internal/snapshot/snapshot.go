@@ -18,6 +18,12 @@
 // The payload interns attribute values in a string table and references them
 // by index (stream tuples repeat values heavily); entity-set pairs reference
 // residents by index instead of repeating RIDs.
+//
+// A dropped I/O or CRC error here is indistinguishable from corruption, so
+// the package opts into the walerr analyzer: every error result must be
+// handled or explicitly waived with `_ =`.
+//
+//terids:strict-errors
 package snapshot
 
 import (
@@ -210,6 +216,8 @@ func (w *writer) float(f float64) {
 }
 
 // Encode writes the checkpoint to w in the versioned binary format.
+//
+//terids:deterministic
 func Encode(w io.Writer, c *Checkpoint) error {
 	if err := c.Validate(); err != nil {
 		return err
@@ -538,21 +546,21 @@ func writeFileAtomic(path string, enc func(io.Writer) error) error {
 	}
 	tmp := f.Name()
 	if err := enc(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // walerr: the encode failure is the error being returned
+		_ = os.Remove(tmp) // walerr: best-effort temp cleanup on the error path
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // walerr: the sync failure is the error being returned
+		_ = os.Remove(tmp) // walerr: best-effort temp cleanup on the error path
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // walerr: best-effort temp cleanup on the error path
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // walerr: best-effort temp cleanup on the error path
 		return err
 	}
 	// Fsync the directory so the rename itself is durable: callers (e.g. the
@@ -562,8 +570,11 @@ func writeFileAtomic(path string, enc func(io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // walerr: the sync failure is the error being returned
+		return err
+	}
+	return d.Close()
 }
 
 // ReadFile loads and verifies a checkpoint from path.
@@ -572,6 +583,7 @@ func ReadFile(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore walerr read-only load; close cannot lose data
 	defer f.Close()
 	return Decode(f)
 }

@@ -1,0 +1,118 @@
+// Package testutil holds dependency-free test harness helpers shared by the
+// engine, WAL, and serve test suites.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks runs a package's tests and then fails the run if any
+// non-runtime goroutines are still alive: a TestMain body of
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+//
+// gives the whole package a goroutine-leak gate for free. A pipeline stage
+// that outlives Engine.Close, a WAL group-commit loop that survives
+// Log.Close, or a follower tail that keeps polling after Stop all show up
+// here as full stacks on stderr and a non-zero exit.
+//
+// Goroutines are given a grace window to drain — Close contracts guarantee
+// the work is done, not that the worker has been rescheduled to its final
+// return — so the check polls runtime.Stack until only known-benign stacks
+// remain or the deadline passes. It never calls os.Exit(0) early on a failed
+// test run: test failures keep their exit code.
+func VerifyNoLeaks(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if stacks := leakedGoroutines(5 * time.Second); len(stacks) > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutine(s) still alive after all tests passed:\n\n%s\n",
+				len(stacks), strings.Join(stacks, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// leakedGoroutines polls until every live goroutine is benign or the grace
+// window expires, returning the offending stacks (nil when clean).
+func leakedGoroutines(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		stacks := interesting(allStacks())
+		if len(stacks) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return stacks
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// allStacks snapshots every goroutine's stack, growing the buffer until the
+// dump fits.
+func allStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// interesting filters the snapshot down to goroutines that indicate a leak.
+// The runtime's own helpers, the testing framework, signal handling, and
+// this checker's goroutine are all expected to be alive after m.Run.
+func interesting(stacks []string) []string {
+	var out []string
+	for _, s := range stacks {
+		if s == "" || benign(s) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*M).Run",          // the main test goroutine (runs this checker)
+		"testing.(*T).Run",          // parked subtest parents
+		"testing.runTests",          //
+		"testing.tRunner.func",      // tRunner cleanup closures parked in runtime
+		"runtime.goexit",            // fully exited, not yet reaped
+		"created by runtime",        // runtime-internal helpers (GC, finalizers)
+		"runtime.gc",                //
+		"runtime.bgsweep",           //
+		"runtime.bgscavenge",        //
+		"runtime.forcegchelper",     //
+		"runtime/trace",             //
+		"signal.Notify",             // os/signal delivery goroutine
+		"os/signal.signal_recv",     //
+		"os/signal.loop",            //
+		"runtime.ensureSigM",        //
+		"testing.(*F).Fuzz",         // fuzz workers
+		"runtime/pprof",             // profiler writers during -cpuprofile runs
+		"testing.(*testContext)",    //
+		"runtime.ReadTrace",         //
+		"runtime.traceStartReadCPU", //
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	// The goroutine running leakedGoroutines itself shows up in its own dump.
+	if strings.Contains(stack, "testutil.allStacks") || strings.Contains(stack, "testutil.leakedGoroutines") {
+		return true
+	}
+	return false
+}

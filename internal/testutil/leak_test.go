@@ -1,0 +1,57 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakMarker blocks until released; its name is what the assertions grep the
+// stack dumps for.
+func leakMarker(release <-chan struct{}) {
+	<-release
+}
+
+func hasMarker(stacks []string) bool {
+	for _, s := range stacks {
+		if strings.Contains(s, "leakMarker") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLeakDetection pins both directions: a blocked goroutine is reported
+// with its stack, and releasing it clears the report within the grace
+// window.
+func TestLeakDetection(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		leakMarker(release)
+	}()
+
+	if stacks := leakedGoroutines(50 * time.Millisecond); !hasMarker(stacks) {
+		t.Fatalf("blocked goroutine not reported; got %d stacks", len(stacks))
+	}
+
+	close(release)
+	<-done
+	deadline := time.Now().Add(2 * time.Second)
+	for hasMarker(leakedGoroutines(10 * time.Millisecond)) {
+		if time.Now().After(deadline) {
+			t.Fatal("released goroutine still reported as leaked")
+		}
+	}
+}
+
+// TestBenignFilter spot-checks that the runtime's own goroutines — always
+// alive — never count as leaks on an otherwise idle package.
+func TestBenignFilter(t *testing.T) {
+	for _, s := range interesting(allStacks()) {
+		if strings.Contains(s, "created by runtime") || strings.Contains(s, "runtime.bgsweep") {
+			t.Fatalf("runtime goroutine reported as a leak:\n%s", s)
+		}
+	}
+}

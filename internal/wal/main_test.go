@@ -1,0 +1,14 @@
+package wal
+
+import (
+	"testing"
+
+	"terids/internal/testutil"
+)
+
+// TestMain gates the package on goroutine hygiene: Log.Close must stop the
+// group-commit loop and Tailer.Stop must stop the poll loop — a survivor
+// fails the whole run with its stack.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

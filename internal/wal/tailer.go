@@ -122,6 +122,7 @@ func (t *Tailer) replaySegment(s segmeta, from int64, next *int64, tail bool, fn
 		}
 		return false, err
 	}
+	//lint:ignore walerr read-only tail scan; close cannot lose data
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	var off int64

@@ -24,6 +24,12 @@
 // segments strictly below a checkpoint watermark. Open scans only the tail
 // segment, truncating a torn final record (crash mid-write) so the log
 // always reopens to the durable prefix.
+//
+// A dropped I/O or CRC error here is indistinguishable from corruption, so
+// the package opts into the walerr analyzer: every error result must be
+// handled or explicitly waived with `_ =`.
+//
+//terids:strict-errors
 package wal
 
 import (
@@ -163,6 +169,10 @@ type Log struct {
 	dir  string
 	opts Options
 
+	// mu is the append mutex: reservation bookkeeping only. Blocking work —
+	// segment I/O, fsync, file removal — happens outside it, or appenders
+	// queue behind the disk.
+	//terids:nosend
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
@@ -317,19 +327,19 @@ func (l *Log) openTail() error {
 		}
 		if last == -1 {
 			if e.Seq != tail.first {
-				f.Close()
+				_ = f.Close() // walerr: read-only scan; the format error is what matters
 				return fmt.Errorf("wal: segment %s starts at seq %d, filename says %d",
 					filepath.Base(tail.path), e.Seq, tail.first)
 			}
 		} else if e.Seq != last+1 {
-			f.Close()
+			_ = f.Close() // walerr: read-only scan; the format error is what matters
 			return fmt.Errorf("wal: segment %s jumps from seq %d to %d",
 				filepath.Base(tail.path), last, e.Seq)
 		}
 		last = e.Seq
 		good += n
 	}
-	f.Close()
+	_ = f.Close() // walerr: read-only scan; the tail reopens O_RDWR below
 	if last == -1 {
 		// No whole record survived; the segment is a pure torn write.
 		if err := os.Remove(tail.path); err != nil {
@@ -364,6 +374,8 @@ func (l *Log) openTail() error {
 // — the returned ticket is immediately ready — which makes recovery replay
 // through the normal submission path idempotent. With block=false a full
 // queue returns ErrFull instead of waiting.
+//
+//terids:hotpath
 func (l *Log) Reserve(e Entry, block bool) (Ticket, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -414,6 +426,8 @@ func (l *Log) Reserve(e Entry, block bool) (Ticket, error) {
 // (blocking waits only for the current flush to have any room at all), which
 // keeps a batch atomic within one group commit. With block=false a full
 // queue returns ErrFull before anything is appended.
+//
+//terids:hotpath
 func (l *Log) ReserveN(entries []Entry, block bool) (Ticket, error) {
 	if len(entries) == 0 {
 		return Ticket{}, nil
@@ -538,7 +552,7 @@ func (l *Log) commit(entries []Entry) error {
 		// acknowledged segment.
 		if !l.opts.NoSync {
 			if err := syncDir(l.dir); err != nil {
-				f.Close()
+				_ = f.Close() // walerr: the sync failure is the error being returned
 				return err
 			}
 		}
@@ -578,20 +592,28 @@ func (l *Log) commit(entries []Entry) error {
 // numbers below seq — called after a checkpoint at watermark seq makes them
 // unnecessary for recovery. The active segment is never removed.
 func (l *Log) TruncateBefore(seq int64) error {
+	// Bookkeeping under the append mutex, unlinking outside it (locksend:
+	// os.Remove under mu would queue appenders behind the disk). Dropping
+	// the segments from l.segs first is safe in both failure directions: a
+	// removal that fails leaves a stray file that the next Open rescans as
+	// ordinary (still-valid) coverage, and replay of a removed range
+	// already reports ErrTruncated off the bookkeeping, not the directory.
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	removed := 0
+	var victims []string
 	for len(l.segs) >= 2 && l.segs[1].first <= seq {
-		if err := os.Remove(l.segs[0].path); err != nil {
-			return err
-		}
+		victims = append(victims, l.segs[0].path)
 		l.total -= l.segs[0].size
 		l.segs = l.segs[1:]
-		removed++
 	}
-	if removed > 0 {
+	if len(victims) > 0 {
 		l.jr.Record("wal_truncate", "removed WAL segments below the checkpoint watermark",
-			map[string]any{"segments": removed, "watermark": seq, "first_seq": l.segs[0].first})
+			map[string]any{"segments": len(victims), "watermark": seq, "first_seq": l.segs[0].first})
+	}
+	l.mu.Unlock()
+	for _, path := range victims {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -641,6 +663,7 @@ func (l *Log) replaySegment(s segmeta, from, stop int64, expect *int64, fn func(
 		}
 		return err
 	}
+	//lint:ignore walerr read-only replay scan; close cannot lose data
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	var off int64
@@ -713,11 +736,16 @@ func (l *Log) Close() error {
 		}
 		l.f = nil
 	}
+	// Release the liveness flock outside mu (locksend: the release closes a
+	// file descriptor, and a follower polling TryAcquire must not observe
+	// the lock held by a Log wedged on its own close path).
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	releaseDirLock(l.lockf)
+	lockf := l.lockf
 	l.lockf = nil
-	return l.err
+	err := l.err
+	l.mu.Unlock()
+	releaseDirLock(lockf)
+	return err
 }
 
 // syncDir fsyncs a directory, making renames and newly created names in it
@@ -727,8 +755,11 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // walerr: the sync failure is the error being returned
+		return err
+	}
+	return d.Close()
 }
 
 // errShortRecord marks a record whose declared length runs past the known
